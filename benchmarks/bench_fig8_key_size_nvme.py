@@ -1,0 +1,41 @@
+"""Fig. 8 — device bandwidth vs key size (NVMe command-set cliff).
+
+Paper setup: stores with a fixed value size while sweeping key length,
+in both synchronous and asynchronous modes.  A 64 B NVMe command carries
+at most 16 B of key inline; longer keys cost a second command.
+
+Paper findings this bench checks:
+* bandwidth is flat across key sizes up to 16 B;
+* it drops sharply past 16 B — the paper reports large keys reaching as
+  low as ~0.53x of the small-key bandwidth — in both modes (the cliff is
+  steepest under asynchronous load, where the submission path saturates).
+"""
+
+from conftest import banner, run_once
+
+from repro.core.figures import fig8_key_size_bandwidth
+from repro.kvbench.report import format_table
+
+
+def test_fig8_key_size_bandwidth(benchmark):
+    result = run_once(benchmark, lambda: fig8_key_size_bandwidth(n_ops=1200))
+
+    print(banner("Fig. 8 — store bandwidth vs key size (MiB/s)"))
+    rows = [
+        [f"{key_bytes}B", result.commands[key_bytes],
+         result.mib_s["sync"][key_bytes], result.mib_s["async"][key_bytes]]
+        for key_bytes in result.key_sizes
+    ]
+    print(format_table(["key", "NVMe cmds", "sync", "async"], rows))
+    print(f"cliff past 16 B keys: async {result.cliff_ratio('async'):.2f}x, "
+          f"sync {result.cliff_ratio('sync'):.2f}x (paper: ~0.53x)")
+
+    # Flat up to the inline limit.
+    async_bw = result.mib_s["async"]
+    assert abs(async_bw[16] - async_bw[8]) / async_bw[8] < 0.1
+    # The cliff: a second command halves the submission budget.
+    assert result.cliff_ratio("async") < 0.7
+    assert result.cliff_ratio("sync") < 0.98
+    # Command counts explain it.
+    assert result.commands[16] == 1
+    assert result.commands[24] == 2

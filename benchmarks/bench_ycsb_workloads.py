@@ -1,0 +1,84 @@
+"""Extension — YCSB core workloads A–F (the paper's future work).
+
+The paper's conclusion: "In future, we plan to explore KV-SSD performance
+behavior under real-world workloads and benchmarks, such as YCSB."  This
+bench delivers that exploration on the simulated testbed, comparing the
+KV-SSD against the RocksDB stand-in across all six core workloads.
+
+Expected shape (following the paper's Fig. 2 findings plus the known
+weakness of hash indexes):
+
+* update-heavy point workloads (A, F): KV-SSD competitive;
+* read-heavy point workloads (B, C, D): RocksDB ahead (Fig. 2c);
+* scans (E): RocksDB far ahead — the KV-SSD has only 4-byte-prefix
+  iterator buckets, no ordered iteration, so range scans devolve into
+  point reads.
+"""
+
+from conftest import banner, run_once
+
+from repro.core.experiment import build_kv_rig, build_lsm_rig, lab_geometry
+from repro.kvbench.report import format_table
+from repro.kvbench.runner import execute_workload
+from repro.kvbench.ycsb import YCSBDriver, YCSBSpec, generate_ycsb
+from repro.kvftl.population import KeyScheme
+
+POPULATION = 3000
+N_OPS = 600
+SCHEME = KeyScheme(prefix=b"user", digits=12)
+
+
+def _run_all():
+    results = {}
+    for workload in ("A", "B", "C", "D", "E", "F"):
+        spec = YCSBSpec(
+            workload=workload,
+            n_ops=N_OPS,
+            population=POPULATION,
+            key_scheme=SCHEME,
+            value_bytes=1000,
+            scan_length=20,
+        )
+        kv_rig = build_kv_rig(lab_geometry(8))
+        kv_rig.device.fast_fill(POPULATION, 1000, SCHEME)
+        kv_run = execute_workload(
+            kv_rig.env,
+            YCSBDriver(kv_rig.adapter, spec),
+            generate_ycsb(spec),
+            queue_depth=8,
+            name=f"ycsb{workload}.kv",
+        )
+        lsm_rig = build_lsm_rig(lab_geometry(8))
+        lsm_rig.store.prime_fill(
+            {SCHEME.key_for(i): 1000 for i in range(POPULATION)}, level=3
+        )
+        lsm_run = execute_workload(
+            lsm_rig.env,
+            YCSBDriver(lsm_rig.adapter, spec),
+            generate_ycsb(spec),
+            queue_depth=8,
+            name=f"ycsb{workload}.lsm",
+        )
+        results[workload] = (kv_run.latency.mean(), lsm_run.latency.mean())
+    return results
+
+
+def test_ycsb_workloads(benchmark):
+    results = run_once(benchmark, _run_all)
+
+    print(banner("YCSB A-F — mean latency (us), KV-SSD vs RocksDB"))
+    rows = [
+        [workload, kv, lsm, kv / lsm]
+        for workload, (kv, lsm) in results.items()
+    ]
+    print(format_table(["workload", "KV-SSD", "RocksDB", "KV/RocksDB"], rows))
+    print("(paper future work; E = scans, the hash index's blind spot)")
+
+    ratio = {w: kv / lsm for w, (kv, lsm) in results.items()}
+    # Scans are the decisive LSM win.
+    assert ratio["E"] > 5.0
+    assert ratio["E"] > 2 * max(ratio[w] for w in "ABCDF")
+    # Read-heavy point workloads favor RocksDB (Fig. 2c's finding).
+    assert ratio["C"] > 1.0
+    # The update-heavy mix is the KV-SSD's best point workload.
+    assert ratio["A"] < ratio["C"]

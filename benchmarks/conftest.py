@@ -1,0 +1,24 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench regenerates one figure (or the headline scalars) of the paper
+and prints the same rows/series the figure shows, annotated with the
+paper-reported values.  ``pytest benchmarks/ --benchmark-only`` therefore
+produces the complete reproduction record (EXPERIMENTS.md mirrors it).
+"""
+
+from __future__ import annotations
+
+
+def banner(title: str) -> str:
+    """Section header used by every bench's printed report."""
+    rule = "=" * len(title)
+    return f"\n{rule}\n{title}\n{rule}"
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark's timer.
+
+    The experiments are deterministic simulations — repeated rounds would
+    measure the host machine, not the model — so one round is the policy.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,6 @@
+"""Host-facing device APIs: the SNIA KVS library and direct block I/O."""
+
+from repro.api.block import BlockDeviceAPI
+from repro.api.kvs import KVStoreAPI
+
+__all__ = ["BlockDeviceAPI", "KVStoreAPI"]

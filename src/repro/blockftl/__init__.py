@@ -1,0 +1,7 @@
+"""Block-SSD firmware personality (page-mapped FTL baseline)."""
+
+from repro.blockftl.config import BlockSSDConfig
+from repro.blockftl.device import BlockSSD
+from repro.blockftl.mapping import UNMAPPED, PageMap, SegmentCache
+
+__all__ = ["BlockSSD", "BlockSSDConfig", "PageMap", "SegmentCache", "UNMAPPED"]

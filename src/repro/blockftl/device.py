@@ -1,0 +1,503 @@
+"""The block-SSD firmware personality.
+
+:class:`BlockSSD` composes the flash array, a page-level mapping, a
+segment cache, a DRAM write buffer with background flushers, and a garbage
+collector into the device the paper uses as its baseline (Samsung PM983
+with block firmware EDA53W0Q).
+
+Host-visible semantics:
+
+* ``write`` completes once the payload is admitted to the device DRAM
+  buffer (tens of microseconds) — flash programming happens asynchronously
+  behind it.  When flash plus GC cannot keep up, admission blocks and
+  host-visible write latency collapses; that is the foreground-GC stall
+  mechanism of Fig. 6.
+* ``read`` completes after mapping lookup and flash (or buffer) access.
+* ``deallocate`` (TRIM) drops mappings so GC can reclaim space without
+  relocation — the reason RocksDB-on-block never triggers foreground GC in
+  the paper's Fig. 6a.
+
+Sequential versus random asymmetry is *emergent*: sequential streams hit
+the mapping segment cache (cheap lookups), random traffic misses and pays
+a serialized metadata load, reproducing the datasheet's ~0.8x/0.6x
+latency relationships without hard-coded factors.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.blockftl.config import BlockSSDConfig
+from repro.blockftl.mapping import UNMAPPED, PageMap, SegmentCache
+from repro.errors import AddressError, ConfigurationError
+from repro.flash.geometry import Geometry
+from repro.flash.nand import FlashArray
+from repro.flash.timing import FlashTiming
+from repro.ftl.pool import AllocationStream, FreeBlockPool
+from repro.ftl.victim import select_victim
+from repro.ftl.writebuffer import WriteBuffer
+from repro.metrics.counters import DeviceCounters
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource
+from repro.sim.signal import Signal
+
+
+@dataclass
+class _PendingUnit:
+    """A dirty map unit buffered in device DRAM awaiting flush."""
+
+    unit: int
+    arrival_us: float
+    sequence: int
+
+
+class BlockSSD:
+    """Simulated NVMe block SSD (page-mapped FTL personality)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        geometry: Geometry,
+        timing: Optional[FlashTiming] = None,
+        config: Optional[BlockSSDConfig] = None,
+        name: str = "block-ssd",
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.config = config or BlockSSDConfig()
+        self.timing = timing or FlashTiming()
+        self.array = FlashArray(env, geometry, self.timing)
+        self.counters = DeviceCounters()
+
+        raw_bytes = geometry.capacity_bytes
+        usable = int(raw_bytes * (1.0 - self.config.overprovision))
+        self.map_unit = self.config.map_unit_bytes
+        self.n_units = usable // self.map_unit
+        if self.n_units < 1:
+            raise ConfigurationError("geometry too small for one map unit")
+        self.user_capacity_bytes = self.n_units * self.map_unit
+        self.slots_per_page = geometry.page_bytes // self.map_unit
+
+        self.pagemap = PageMap(geometry, self.map_unit, self.n_units)
+        self.segment_cache = SegmentCache(
+            self.config.segment_units, self.config.segment_cache_entries
+        )
+        self.pool = FreeBlockPool(self.array)
+        self.user_stream = AllocationStream(
+            self.array, self.pool, self.config.stream_width, name=f"{name}.user"
+        )
+        # Narrow GC frontier: see the KV device's note — a wide GC stream
+        # can consume the very reserve garbage collection relies on.
+        self.gc_stream = AllocationStream(
+            self.array, self.pool, 2, name=f"{name}.gc"
+        )
+        self.buffer = WriteBuffer(
+            env, self.config.write_buffer_bytes, name=f"{name}.buffer"
+        )
+        self.controller = Resource(
+            env, self.config.controller_cores, name=f"{name}.ctl"
+        )
+        self.map_loader = Resource(env, 1, name=f"{name}.maploader")
+
+        self._pending: "OrderedDict[int, _PendingUnit]" = OrderedDict()
+        self._latest_sequence: Dict[int, int] = {}
+        self._sequence = 0
+        self._dirty = Signal(env, f"{name}.dirty")
+        self._space = Signal(env, f"{name}.space")
+        self._gc_wakeup = Signal(env, f"{name}.gcwake")
+        self._gc_threshold_blocks = max(
+            self.config.gc_reserve_blocks + 2,
+            int(geometry.total_blocks * self.config.gc_threshold_fraction),
+        )
+        self._shutdown = False
+        for worker_id in range(self.config.stream_width):
+            env.process(self._flush_worker(), name=f"{name}.flush{worker_id}")
+        env.process(self._gc_worker(), name=f"{name}.gc")
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+
+    def _check_range(self, offset: int, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise AddressError(f"I/O size must be positive, got {nbytes}")
+        if offset < 0 or offset + nbytes > self.user_capacity_bytes:
+            raise AddressError(
+                f"range [{offset}, {offset + nbytes}) outside device "
+                f"capacity {self.user_capacity_bytes}"
+            )
+        if offset % self.config.sector_bytes or nbytes % self.config.sector_bytes:
+            raise AddressError(
+                f"I/O must be {self.config.sector_bytes}B-aligned "
+                f"(offset={offset}, nbytes={nbytes})"
+            )
+
+    def _split_units(self, offset: int, nbytes: int) -> List[Tuple[int, int, int]]:
+        """Split a byte range into (unit, offset_in_unit, length) pieces."""
+        pieces: List[Tuple[int, int, int]] = []
+        position = offset
+        end = offset + nbytes
+        while position < end:
+            unit = position // self.map_unit
+            in_unit = position % self.map_unit
+            length = min(self.map_unit - in_unit, end - position)
+            pieces.append((unit, in_unit, length))
+            position += length
+        return pieces
+
+    # ------------------------------------------------------------------
+    # host write path
+    # ------------------------------------------------------------------
+
+    def write(self, offset: int, nbytes: int) -> Generator[Event, None, None]:
+        """Host write; completes at buffer admission (timed process).
+
+        The commit into the flush queue happens without suspension points
+        so one command's units stay adjacent in flush order — real FTLs
+        keep a command's data together, and scattering it across pages
+        would fan a later read of the same range across the whole array.
+        """
+        self._check_range(offset, nbytes)
+        yield from self.controller.serve(self.config.host_interface_us)
+        pieces = self._split_units(offset, nbytes)
+
+        # Phase 1: mapping updates and sub-unit read-modify-writes (timed).
+        # Unlike lookups, mapping *updates* are journaled asynchronously
+        # and do not pass through the serialized metadata loader; misses
+        # still cost extra controller work.
+        seen_segments = set()
+        for unit, _in_unit, length in pieces:
+            segment = self.segment_cache.segment_of(unit)
+            if segment in seen_segments:
+                hit = True  # the command pins segments it already walked
+            else:
+                seen_segments.add(segment)
+                hit = self.segment_cache.access(unit)
+            cost = (
+                self.config.map_update_hit_us
+                if hit
+                else self.config.map_update_miss_us
+            )
+            yield from self.controller.serve(cost)
+            partial = length < self.map_unit
+            slot_id = self.pagemap.lookup(unit)
+            if partial and slot_id != UNMAPPED and unit not in self._pending:
+                # Sub-unit update of flash-resident data: read-modify-write.
+                block, page, _slot = self.pagemap.unflatten(slot_id)
+                yield from self.array.read(block, page, self.map_unit)
+
+        # Phases 2+3, chunked: admit buffer space for a group of units,
+        # then commit that group without suspension points.  Chunking keeps
+        # each admission below buffer capacity (a whole-command admission
+        # of a huge write would deadlock against its own flush) while one
+        # group's units still stay adjacent in flush order.
+        group_units = max(
+            self.slots_per_page,
+            self.buffer.capacity_bytes // (2 * self.map_unit),
+        )
+        for start in range(0, len(pieces), group_units):
+            group = pieces[start:start + group_units]
+            yield from self.buffer.admit(len(group) * self.map_unit)
+            yield from self.controller.serve(
+                self.config.buffer_copy_us * len(group)
+            )
+            for unit, _in_unit, _length in group:
+                self._sequence += 1
+                entry = self._pending.get(unit)
+                if entry is not None:
+                    # Coalesce with the not-yet-flushed copy.
+                    self.buffer.drain(self.map_unit)
+                    entry.sequence = self._sequence
+                    self._latest_sequence[unit] = self._sequence
+                    continue
+                slot_id = self.pagemap.lookup(unit)
+                if slot_id != UNMAPPED:
+                    # The buffered copy supersedes the flash-resident one.
+                    block, _page, _slot = self.pagemap.unflatten(slot_id)
+                    self.pagemap.unbind(unit)
+                    self.array.invalidate(block, self.map_unit)
+                self._pending[unit] = _PendingUnit(
+                    unit, self.env.now, self._sequence
+                )
+                self._latest_sequence[unit] = self._sequence
+            if (
+                len(self._pending) <= len(group)
+                or len(self._pending) >= self.slots_per_page
+                or self.buffer.occupied_bytes >= self.buffer.capacity_bytes // 2
+            ):
+                # Wake flushers on the empty->non-empty transition, for
+                # page-sized batches, and under buffer pressure; stragglers
+                # flush on an already-awake flusher's linger timer.
+                self._dirty.notify_all()
+        self.counters.host_writes += 1
+        self.counters.host_write_bytes += nbytes
+
+    # ------------------------------------------------------------------
+    # host read path
+    # ------------------------------------------------------------------
+
+    def read(self, offset: int, nbytes: int) -> Generator[Event, None, None]:
+        """Host read (timed process)."""
+        self._check_range(offset, nbytes)
+        yield from self.controller.serve(self.config.host_interface_us)
+        page_reads: Dict[Tuple[int, int], int] = {}
+        seen_segments = set()
+        for unit, _in_unit, length in self._split_units(offset, nbytes):
+            segment = self.segment_cache.segment_of(unit)
+            if segment in seen_segments:
+                hit = True  # the command pins segments it already walked
+            else:
+                seen_segments.add(segment)
+                hit = self.segment_cache.access(unit)
+            yield from self.controller.serve(self.config.map_hit_us)
+            if not hit:
+                yield from self.map_loader.serve(self.config.map_load_us)
+            if unit in self._pending:
+                yield from self.controller.serve(self.config.buffer_read_us)
+                continue
+            slot_id = self.pagemap.lookup(unit)
+            if slot_id == UNMAPPED:
+                # Reading never-written space: served from controller only.
+                yield from self.controller.serve(self.config.buffer_read_us)
+                continue
+            block, page, _slot = self.pagemap.unflatten(slot_id)
+            key = (block, page)
+            page_reads[key] = page_reads.get(key, 0) + length
+        if page_reads:
+            procs = [
+                self.env.process(
+                    self.array.read(block, page, length), name=f"{self.name}.rd"
+                )
+                for (block, page), length in page_reads.items()
+            ]
+            yield self.env.all_of(procs)
+        self.counters.host_reads += 1
+        self.counters.host_read_bytes += nbytes
+
+    # ------------------------------------------------------------------
+    # deallocate (TRIM)
+    # ------------------------------------------------------------------
+
+    def deallocate(self, offset: int, nbytes: int) -> Generator[Event, None, None]:
+        """Drop mappings for fully covered units (timed, cheap)."""
+        self._check_range(offset, nbytes)
+        pieces = self._split_units(offset, nbytes)
+        yield from self.controller.serve(
+            self.config.host_interface_us + 0.05 * len(pieces)
+        )
+        for unit, in_unit, length in pieces:
+            if in_unit != 0 or length != self.map_unit:
+                continue  # partial-unit trims are advisory no-ops
+            if unit in self._pending:
+                del self._pending[unit]
+                self._latest_sequence.pop(unit, None)
+                self.buffer.drain(self.map_unit)
+            slot_id = self.pagemap.lookup(unit)
+            if slot_id != UNMAPPED:
+                block, _page, _slot = self.pagemap.unflatten(slot_id)
+                self.pagemap.unbind(unit)
+                self.array.invalidate(block, self.map_unit)
+
+    # ------------------------------------------------------------------
+    # flush machinery
+    # ------------------------------------------------------------------
+
+    def _take_batch(self) -> Optional[List[_PendingUnit]]:
+        if not self._pending:
+            return None
+        oldest = next(iter(self._pending.values()))
+        buffer_pressure = (
+            self.buffer.occupied_bytes >= self.buffer.capacity_bytes // 2
+        )
+        aged = self.env.now - oldest.arrival_us >= self.config.flush_linger_us
+        if len(self._pending) < self.slots_per_page and not (aged or buffer_pressure):
+            return None
+        batch: List[_PendingUnit] = []
+        while self._pending and len(batch) < self.slots_per_page:
+            _unit, entry = self._pending.popitem(last=False)
+            batch.append(entry)
+        return batch
+
+    def _flush_worker(self) -> Generator[Event, None, None]:
+        while not self._shutdown:
+            batch = self._take_batch()
+            if batch is None:
+                if self._pending:
+                    yield self.env.any_of(
+                        [
+                            self._dirty.wait(),
+                            self.env.timeout(self.config.flush_linger_us),
+                        ]
+                    )
+                else:
+                    # Pure signal wait while idle (see the KV packer note).
+                    yield self._dirty.wait()
+                continue
+            yield from self._block_allowance(for_gc=False)
+            block = self.user_stream.next_slot()
+            if len(self.pool) < self._gc_threshold_blocks:
+                self._gc_wakeup.notify_all()
+            nbytes = len(batch) * self.map_unit
+            transfer = (
+                self.array.geometry.page_bytes
+                if len(batch) == self.slots_per_page
+                else nbytes
+            )
+            page = yield from self.array.program(block, transfer, nbytes)
+            for slot, entry in enumerate(batch):
+                if self._latest_sequence.get(entry.unit) != entry.sequence:
+                    # Superseded while in flight: programmed copy is dead.
+                    self.array.invalidate(block, self.map_unit)
+                    continue
+                slot_id = self.pagemap.lookup(entry.unit)
+                if slot_id != UNMAPPED:
+                    old_block, _p, _s = self.pagemap.unflatten(slot_id)
+                    self.pagemap.unbind(entry.unit)
+                    self.array.invalidate(old_block, self.map_unit)
+                self.pagemap.bind(entry.unit, block, page, slot)
+                del self._latest_sequence[entry.unit]
+            self.buffer.drain(nbytes)
+
+    def drain(self) -> Generator[Event, None, None]:
+        """Wait until all buffered writes have reached flash."""
+        while self._pending or self.buffer.occupied_bytes:
+            yield self.env.timeout(self.config.flush_linger_us)
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+
+    def _block_allowance(self, for_gc: bool) -> Generator[Event, None, None]:
+        """Wait until the free pool can serve this allocation class."""
+        floor = 0 if for_gc else self.config.gc_reserve_blocks
+        while len(self.pool) <= floor:
+            self._gc_wakeup.notify_all()
+            yield self._space.wait()
+
+    def _gc_worker(self) -> Generator[Event, None, None]:
+        while not self._shutdown:
+            if len(self.pool) < self._gc_threshold_blocks:
+                yield from self._collect_once()
+            else:
+                yield self.env.any_of(
+                    [self._gc_wakeup.wait(), self.env.timeout(2000.0)]
+                )
+
+    def _collect_once(self) -> Generator[Event, None, None]:
+        victim = select_victim(self.array)
+        if victim is None:
+            yield self.env.timeout(200.0)
+            return
+        critical = len(self.pool) <= self.config.gc_reserve_blocks
+        valid_units = self.array.blocks[victim].valid_bytes // self.map_unit
+        pages_needed = -(-valid_units // self.slots_per_page)
+        benefit = self.array.geometry.pages_per_block - pages_needed
+        if benefit < (1 if critical else 2):
+            # Relocating a nearly-full block gains nothing; wait for
+            # invalidations instead of churning.
+            yield self.env.timeout(2000.0)
+            return
+        foreground = self._space.waiting > 0 or critical
+        self.counters.gc_runs += 1
+        if foreground:
+            self.counters.foreground_gc_runs += 1
+        self.counters.gc_events.append((self.env.now, foreground))
+
+        live = self.pagemap.live_units_in_block(victim)
+        if live:
+            pages = sorted({page for _unit, page, _slot in live})
+            read_procs = [
+                self.env.process(
+                    self.array.read(victim, page, self.array.geometry.page_bytes)
+                )
+                for page in pages
+            ]
+            yield self.env.all_of(read_procs)
+        relocated = 0
+        original_slots = {
+            unit: self.pagemap.slot_id(victim, page, slot)
+            for unit, page, slot in live
+        }
+        position = 0
+        while position < len(live):
+            group = live[position:position + self.slots_per_page]
+            position += len(group)
+            yield from self._block_allowance(for_gc=True)
+            target = self.gc_stream.next_slot()
+            nbytes = len(group) * self.map_unit
+            page = yield from self.array.program(
+                target, self.array.geometry.page_bytes, nbytes
+            )
+            for slot, (unit, _old_page, _old_slot) in enumerate(group):
+                if self.pagemap.lookup(unit) != original_slots[unit]:
+                    # Overwritten or trimmed while GC was in flight.
+                    self.array.invalidate(target, self.map_unit)
+                    continue
+                self.pagemap.unbind(unit)
+                self.array.invalidate(victim, self.map_unit)
+                self.pagemap.bind(unit, target, page, slot)
+                relocated += self.map_unit
+        if self.array.blocks[victim].valid_bytes != 0:
+            # Concurrent invalidations should have zeroed it; any residue
+            # means unmatched accounting, which we surface loudly.
+            raise ConfigurationError(
+                f"victim {victim} kept {self.array.blocks[victim].valid_bytes}B "
+                "valid after relocation"
+            )
+        yield from self.array.erase(victim)
+        self.pool.push(victim)
+        self.counters.gc_relocated_bytes += relocated
+        self.counters.gc_erased_blocks += 1
+        self._space.notify_all()
+
+    # ------------------------------------------------------------------
+    # experiment priming
+    # ------------------------------------------------------------------
+
+    def prime_sequential_fill(self, n_units: int, start_unit: int = 0) -> None:
+        """Untimed sequential fill of ``n_units`` map units from ``start_unit``.
+
+        State-identical to issuing sequential writes and draining, minus
+        the simulated time.  Used to set up occupancy before a measured
+        phase (Figs. 3 and 6).
+        """
+        if start_unit < 0 or start_unit + n_units > self.n_units:
+            raise AddressError(
+                f"prime range [{start_unit}, {start_unit + n_units}) outside "
+                f"{self.n_units} units"
+            )
+        unit = start_unit
+        remaining = n_units
+        while remaining > 0:
+            count = min(self.slots_per_page, remaining)
+            block = self.user_stream.next_slot()
+            page = self.array.prime_program(block, count * self.map_unit)
+            for slot in range(count):
+                target = unit + slot
+                slot_id = self.pagemap.lookup(target)
+                if slot_id != UNMAPPED:
+                    old_block, _p, _s = self.pagemap.unflatten(slot_id)
+                    self.pagemap.unbind(target)
+                    self.array.invalidate(old_block, self.map_unit)
+                self.pagemap.bind(target, block, page, slot)
+            unit += count
+            remaining -= count
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    @property
+    def occupied_bytes(self) -> int:
+        """Device bytes currently holding live host data."""
+        return self.pagemap.mapped_units * self.map_unit
+
+    def occupancy_fraction(self) -> float:
+        """Live data as a fraction of user capacity."""
+        return self.occupied_bytes / self.user_capacity_bytes
+
+    def free_block_count(self) -> int:
+        """Erased blocks available for allocation."""
+        return len(self.pool)

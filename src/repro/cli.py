@@ -1,0 +1,178 @@
+"""Command-line interface: regenerate any paper experiment directly.
+
+Usage::
+
+    python -m repro fig5
+    python -m repro fig3 --measured-ops 2000
+    python -m repro headline
+    python -m repro all
+
+Each subcommand runs the corresponding experiment from
+:mod:`repro.core.figures` and prints the same rows/series the paper's
+figure shows (the pytest benches add paper-vs-measured assertions on
+top of the identical experiment functions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.core.figures import (
+    fig2_end_to_end,
+    fig3_index_occupancy,
+    fig4_value_size_concurrency,
+    fig5_packing_bandwidth,
+    fig6_foreground_gc,
+    fig7_space_amplification,
+    fig8_key_size_bandwidth,
+)
+from repro.core.headline import headline_scalars
+from repro.kvbench.report import format_table, sparkline
+from repro.units import KIB
+
+
+def _print_fig2(args: argparse.Namespace) -> None:
+    result = fig2_end_to_end(n_ops=args.n_ops)
+    rows = []
+    for system in result.latency_us:
+        for pattern, phases in result.latency_us[system].items():
+            rows.append([system, pattern, phases["insert"],
+                         phases["update"], phases["read"]])
+    print(format_table(
+        ["system", "pattern", "insert us", "update us", "read us"], rows
+    ))
+    print("\nhost CPU per op (us):",
+          {k: round(v, 1) for k, v in result.cpu_us_per_op.items()})
+
+
+def _print_fig3(args: argparse.Namespace) -> None:
+    result = fig3_index_occupancy(measured_ops=args.measured_ops)
+    rows = []
+    for device in ("kv", "block"):
+        for occupancy in ("low", "high"):
+            cell = result.latency_us[device][occupancy]
+            rows.append([device, occupancy, cell["read"], cell["write"]])
+    print(format_table(["device", "occupancy", "read us", "write us"], rows))
+    print(f"\nKV degradation: write {result.degradation('kv', 'write'):.1f}x "
+          f"(paper 16.4x), read {result.degradation('kv', 'read'):.1f}x "
+          f"(paper 2x)")
+
+
+def _print_fig4(args: argparse.Namespace) -> None:
+    result = fig4_value_size_concurrency(n_ops=args.n_ops)
+    rows = []
+    for size in result.value_sizes:
+        rows.append([
+            f"{size / KIB:g}KiB",
+            result.ratio["write"][1][size], result.ratio["read"][1][size],
+            result.ratio["write"][64][size], result.ratio["read"][64][size],
+        ])
+    print(format_table(
+        ["value", "w QD1", "r QD1", "w QD64", "r QD64"], rows
+    ))
+    print("\nKV/block mean-latency ratios; <1 favors the KV-SSD")
+
+
+def _print_fig5(args: argparse.Namespace) -> None:
+    result = fig5_packing_bandwidth(n_ops=args.n_ops)
+    rows = [
+        [f"{size / KIB:g}KiB", result.kv_mib_s[size],
+         result.block_mib_s[size], result.kv_fragments[size]]
+        for size in result.value_sizes
+    ]
+    print(format_table(["value", "KV MiB/s", "block MiB/s", "fragments"], rows))
+
+
+def _print_fig6(args: argparse.Namespace) -> None:
+    result = fig6_foreground_gc()
+    for scenario, series in result.series.items():
+        print(f"{scenario:<16} trough {result.trough_ratio(scenario):5.2f}  "
+              f"fgGC {result.foreground_gc_runs.get(scenario, 0):4d}  "
+              f"{sparkline(series[:48])}")
+
+
+def _print_fig7(args: argparse.Namespace) -> None:
+    result = fig7_space_amplification()
+    rows = [
+        [f"{size}B", result.sa["kvssd"][size], result.kv_analytic[size],
+         result.sa["aerospike"][size], result.sa["rocksdb"][size]]
+        for size in result.value_sizes
+    ]
+    print(format_table(
+        ["value", "KV-SSD", "KV analytic", "Aerospike", "RocksDB"], rows
+    ))
+    print(f"\nmax KVPs at 3.84 TB: {result.max_kvps_full_scale / 1e9:.2f}B "
+          f"(paper ~3.1B)")
+
+
+def _print_fig8(args: argparse.Namespace) -> None:
+    result = fig8_key_size_bandwidth(n_ops=args.n_ops)
+    rows = [
+        [f"{k}B", result.commands[k], result.mib_s["sync"][k],
+         result.mib_s["async"][k]]
+        for k in result.key_sizes
+    ]
+    print(format_table(["key", "cmds", "sync MiB/s", "async MiB/s"], rows))
+    print(f"\ncliff past 16B: async {result.cliff_ratio('async'):.2f}x "
+          f"(paper ~0.53x)")
+
+
+def _print_headline(args: argparse.Namespace) -> None:
+    result = headline_scalars()
+    print(format_table(["metric", "paper", "measured"], result.rows()))
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "fig2": _print_fig2,
+    "fig3": _print_fig3,
+    "fig4": _print_fig4,
+    "fig5": _print_fig5,
+    "fig6": _print_fig6,
+    "fig7": _print_fig7,
+    "fig8": _print_fig8,
+    "headline": _print_headline,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate experiments from 'KV-SSD: What Is It Good For?' "
+            "(DAC 2021) on the simulated testbed."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which figure (or 'headline'/'all') to regenerate",
+    )
+    parser.add_argument(
+        "--n-ops", type=int, default=1200,
+        help="operations per measured phase (default: 1200)",
+    )
+    parser.add_argument(
+        "--measured-ops", type=int, default=1500,
+        help="fig3 measured operations per phase (default: 1500)",
+    )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"\n=== {name} ===")
+        started = time.time()
+        _COMMANDS[name](args)
+        print(f"[{name} done in {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish device-level conditions (out of space, key
+not found) from programming errors (bad configuration).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly."""
+
+
+class DeviceError(ReproError):
+    """Base class for device-level failures (the simulated SSD said no)."""
+
+
+class DeviceFullError(DeviceError):
+    """The device has no space left and garbage collection cannot free any."""
+
+
+class KeyNotFoundError(DeviceError):
+    """A retrieve/delete targeted a key that is not stored on the device."""
+
+
+class InvalidKeyError(DeviceError):
+    """The key violates the device's key constraints (length 4..255 bytes)."""
+
+
+class InvalidValueError(DeviceError):
+    """The value violates the device's value constraints (length 0..2 MiB)."""
+
+
+class CapacityLimitError(DeviceError):
+    """The device reached its maximum number of storable KV pairs."""
+
+
+class AddressError(DeviceError):
+    """A physical or logical address is out of range for the device."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification cannot be generated as requested."""

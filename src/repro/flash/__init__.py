@@ -1,0 +1,17 @@
+"""NAND flash substrate: geometry, timing, and the timed array."""
+
+from repro.flash.geometry import Geometry, PageAddress, scaled_pm983, tiny_geometry
+from repro.flash.nand import BlockInfo, BlockState, FlashArray, FlashCounters
+from repro.flash.timing import FlashTiming
+
+__all__ = [
+    "BlockInfo",
+    "BlockState",
+    "FlashArray",
+    "FlashCounters",
+    "FlashTiming",
+    "Geometry",
+    "PageAddress",
+    "scaled_pm983",
+    "tiny_geometry",
+]

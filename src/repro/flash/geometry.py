@@ -1,0 +1,194 @@
+"""Physical geometry of the simulated NAND flash array.
+
+The geometry mirrors the hierarchy of a real enterprise drive such as the
+Samsung PM983 the paper measures: *channels* connect the controller to
+*dies*; each die holds *planes*; planes hold *blocks* (the erase unit); and
+blocks hold *pages* (the program unit).
+
+The paper's experiments run on a 3.84 TB device.  Simulating that capacity
+page-by-page is neither necessary nor useful — every reported effect is a
+ratio at matched relative occupancy — so the default geometry is a scaled
+device (~8 GiB) with the same page size (32 KiB, the paper's inferred page
+size for the PM983) and the same parallelism structure.  Experiments that
+need other scales construct their own geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError, ConfigurationError
+from repro.units import GIB, KIB
+
+
+@dataclass(frozen=True)
+class PageAddress:
+    """Fully qualified physical page address within a geometry."""
+
+    channel: int
+    die: int
+    plane: int
+    block: int
+    page: int
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Immutable description of the flash array's shape.
+
+    Attributes
+    ----------
+    channels:
+        Independent buses between controller and flash packages.
+    dies_per_channel:
+        Dies sharing each channel; dies operate concurrently but share the
+        channel for data transfer.
+    planes_per_die:
+        Planes per die; modeled as extra blocks behind the same die-busy
+        resource (multi-plane commands are folded into the die timing).
+    blocks_per_plane:
+        Erase units per plane.
+    pages_per_block:
+        Program units per block.
+    page_bytes:
+        Size of one flash page (32 KiB on the paper's PM983 hypothesis).
+    """
+
+    channels: int = 8
+    dies_per_channel: int = 2
+    planes_per_die: int = 2
+    blocks_per_plane: int = 64
+    pages_per_block: int = 128
+    page_bytes: int = 32 * KIB
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "channels",
+            "dies_per_channel",
+            "planes_per_die",
+            "blocks_per_plane",
+            "pages_per_block",
+            "page_bytes",
+        ):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"geometry field {field_name} must be a positive int, "
+                    f"got {value!r}"
+                )
+
+    # -- derived quantities ----------------------------------------------
+
+    @property
+    def total_dies(self) -> int:
+        """Number of independently busy flash dies."""
+        return self.channels * self.dies_per_channel
+
+    @property
+    def blocks_per_die(self) -> int:
+        """Erase units behind one die (across its planes)."""
+        return self.planes_per_die * self.blocks_per_plane
+
+    @property
+    def total_blocks(self) -> int:
+        """Total erase units in the array."""
+        return self.total_dies * self.blocks_per_die
+
+    @property
+    def total_pages(self) -> int:
+        """Total program units in the array."""
+        return self.total_blocks * self.pages_per_block
+
+    @property
+    def block_bytes(self) -> int:
+        """Raw bytes per erase unit."""
+        return self.pages_per_block * self.page_bytes
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw capacity of the array in bytes."""
+        return self.total_pages * self.page_bytes
+
+    # -- flat block indexing ----------------------------------------------
+
+    def die_of_block(self, block_index: int) -> int:
+        """Die (0..total_dies-1) that owns flat block ``block_index``.
+
+        Blocks are numbered so that consecutive indices rotate across dies
+        first (``block % total_dies``), which makes naive sequential block
+        allocation stripe across all dies — the layout real FTLs use to
+        maximize program parallelism.
+        """
+        self.check_block(block_index)
+        return block_index % self.total_dies
+
+    def channel_of_die(self, die_index: int) -> int:
+        """Channel (0..channels-1) that die ``die_index`` hangs off."""
+        if not 0 <= die_index < self.total_dies:
+            raise AddressError(
+                f"die index {die_index} out of range [0, {self.total_dies})"
+            )
+        return die_index % self.channels
+
+    def channel_of_block(self, block_index: int) -> int:
+        """Channel serving flat block ``block_index``."""
+        return self.channel_of_die(self.die_of_block(block_index))
+
+    def check_block(self, block_index: int) -> None:
+        """Raise :class:`AddressError` if ``block_index`` is out of range."""
+        if not 0 <= block_index < self.total_blocks:
+            raise AddressError(
+                f"block index {block_index} out of range [0, {self.total_blocks})"
+            )
+
+    def check_page(self, block_index: int, page_index: int) -> None:
+        """Raise :class:`AddressError` for an invalid (block, page) pair."""
+        self.check_block(block_index)
+        if not 0 <= page_index < self.pages_per_block:
+            raise AddressError(
+                f"page index {page_index} out of range [0, {self.pages_per_block})"
+            )
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the array shape."""
+        return (
+            f"{self.channels}ch x {self.dies_per_channel}die x "
+            f"{self.planes_per_die}pl x {self.blocks_per_plane}blk x "
+            f"{self.pages_per_block}pg x {self.page_bytes}B "
+            f"= {self.capacity_bytes / GIB:.2f} GiB raw"
+        )
+
+
+def scaled_pm983(scale_divisor: int = 500) -> Geometry:
+    """A PM983-3.84TB-shaped geometry scaled down by ``scale_divisor``.
+
+    The real drive is modeled as 8 channels x 8 dies x 2 planes x 1024
+    blocks x 256 pages x 32 KiB ~= 4 TiB raw.  Scaling reduces only the
+    number of blocks per plane, preserving page size and parallelism so
+    that latency-path behaviour is unchanged while fills remain feasible.
+    """
+    if scale_divisor < 1:
+        raise ConfigurationError(f"scale divisor must be >= 1, got {scale_divisor}")
+    full_blocks_per_plane = 1024
+    pages_per_block = 256
+    blocks = max(4, full_blocks_per_plane // max(1, scale_divisor // 4))
+    return Geometry(
+        channels=8,
+        dies_per_channel=8,
+        planes_per_die=2,
+        blocks_per_plane=blocks,
+        pages_per_block=pages_per_block,
+        page_bytes=32 * KIB,
+    )
+
+
+def tiny_geometry() -> Geometry:
+    """A very small array for fast unit tests (a few MiB)."""
+    return Geometry(
+        channels=2,
+        dies_per_channel=2,
+        planes_per_die=1,
+        blocks_per_plane=8,
+        pages_per_block=16,
+        page_bytes=4 * KIB,
+    )

@@ -1,0 +1,262 @@
+"""The timed NAND flash array shared by both firmware personalities.
+
+:class:`FlashArray` combines three concerns:
+
+* **Timing** — reads, programs and erases are simulation processes that
+  contend for per-die and per-channel resources, so parallelism (and the
+  lack of it) emerges from the geometry rather than from tuned constants.
+* **State** — per-block lifecycle (FREE -> OPEN -> CLOSED -> FREE after
+  erase), the next programmable page, and the count of still-valid bytes
+  per block.  Valid-byte accounting is what garbage collection policies
+  read when choosing victims.
+* **Fast priming** — untimed state mutation (:meth:`prime_program`) used by
+  experiment setup to pre-fill a device without simulating each I/O, which
+  makes the paper's "fill 80% of a 3.84 TB drive" setups feasible.
+
+The array does not store user data bytes — the simulator tracks sizes and
+placement, not content.  Content correctness is the FTLs' job and is
+verified at their level through mapping invariants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Generator, List
+
+from repro.errors import AddressError, SimulationError
+from repro.flash.geometry import Geometry
+from repro.flash.timing import FlashTiming
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource
+
+
+class BlockState(enum.Enum):
+    """Lifecycle of an erase unit."""
+
+    FREE = "free"
+    OPEN = "open"
+    CLOSED = "closed"
+
+
+@dataclass
+class BlockInfo:
+    """Mutable bookkeeping for one erase unit."""
+
+    state: BlockState = BlockState.FREE
+    next_page: int = 0
+    valid_bytes: int = 0
+    erase_count: int = 0
+
+
+@dataclass
+class FlashCounters:
+    """Cumulative operation counters (the simulator's S.M.A.R.T. log)."""
+
+    page_reads: int = 0
+    page_programs: int = 0
+    block_erases: int = 0
+    bytes_read: int = 0
+    bytes_programmed: int = 0
+    primed_pages: int = 0
+
+    def snapshot(self) -> "FlashCounters":
+        """Return a copy, for before/after deltas in experiments."""
+        return FlashCounters(
+            page_reads=self.page_reads,
+            page_programs=self.page_programs,
+            block_erases=self.block_erases,
+            bytes_read=self.bytes_read,
+            bytes_programmed=self.bytes_programmed,
+            primed_pages=self.primed_pages,
+        )
+
+
+class FlashArray:
+    """Timed, stateful NAND array.
+
+    All timed entry points are generator methods intended for ``yield
+    from`` inside simulation processes.  Timing composition:
+
+    * ``read``: die busy for tR, then channel busy for the data transfer.
+    * ``program``: channel busy for the data transfer, then die busy for
+      tPROG.  (Cache-program pipelining across planes is approximated by
+      the per-die resource: two planes behind one die still serialize,
+      matching the conservative end of real devices.)
+    * ``erase``: die busy for tBERS; negligible channel traffic.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        geometry: Geometry,
+        timing: FlashTiming,
+    ) -> None:
+        self.env = env
+        self.geometry = geometry
+        self.timing = timing
+        self.counters = FlashCounters()
+        self._dies: List[Resource] = [
+            Resource(env, capacity=1, name=f"die{i}")
+            for i in range(geometry.total_dies)
+        ]
+        self._channels: List[Resource] = [
+            Resource(env, capacity=1, name=f"ch{i}") for i in range(geometry.channels)
+        ]
+        self.blocks: List[BlockInfo] = [
+            BlockInfo() for _ in range(geometry.total_blocks)
+        ]
+
+    # -- resource lookup ---------------------------------------------------
+
+    def die_resource(self, block_index: int) -> Resource:
+        """Die resource owning ``block_index``."""
+        return self._dies[self.geometry.die_of_block(block_index)]
+
+    def channel_resource(self, block_index: int) -> Resource:
+        """Channel resource serving ``block_index``."""
+        return self._channels[self.geometry.channel_of_block(block_index)]
+
+    def die_utilization(self) -> float:
+        """Mean busy fraction across all dies since construction."""
+        fractions = [die.busy_fraction() for die in self._dies]
+        return sum(fractions) / len(fractions)
+
+    # -- state transitions (untimed, used by timed ops and by priming) -----
+
+    def open_block(self, block_index: int) -> None:
+        """Transition a FREE block to OPEN so pages can be programmed."""
+        info = self._info(block_index)
+        if info.state is not BlockState.FREE:
+            raise SimulationError(
+                f"block {block_index} cannot be opened from state {info.state}"
+            )
+        info.state = BlockState.OPEN
+        info.next_page = 0
+        info.valid_bytes = 0
+
+    def _info(self, block_index: int) -> BlockInfo:
+        self.geometry.check_block(block_index)
+        return self.blocks[block_index]
+
+    def _commit_program(self, block_index: int, valid_bytes: int) -> int:
+        """Advance the block's write point; returns the programmed page index."""
+        info = self._info(block_index)
+        if info.state is not BlockState.OPEN:
+            raise SimulationError(
+                f"program to block {block_index} in state {info.state}"
+            )
+        if info.next_page >= self.geometry.pages_per_block:
+            raise SimulationError(f"block {block_index} has no free pages")
+        if not 0 <= valid_bytes <= self.geometry.page_bytes:
+            raise AddressError(
+                f"valid_bytes {valid_bytes} outside page of "
+                f"{self.geometry.page_bytes} bytes"
+            )
+        page_index = info.next_page
+        info.next_page += 1
+        info.valid_bytes += valid_bytes
+        if info.next_page == self.geometry.pages_per_block:
+            info.state = BlockState.CLOSED
+        return page_index
+
+    def invalidate(self, block_index: int, nbytes: int) -> None:
+        """Mark ``nbytes`` of a block's contents dead (overwritten/deleted)."""
+        info = self._info(block_index)
+        if nbytes < 0:
+            raise AddressError(f"cannot invalidate negative bytes ({nbytes})")
+        if nbytes > info.valid_bytes:
+            raise SimulationError(
+                f"invalidate {nbytes}B exceeds valid {info.valid_bytes}B in "
+                f"block {block_index}"
+            )
+        info.valid_bytes -= nbytes
+
+    def prime_program(self, block_index: int, valid_bytes: int) -> int:
+        """Untimed page program for experiment setup (fast fill).
+
+        Identical state effect to the timed :meth:`program`, with the
+        flash-op counters recording it as a primed page instead.
+        """
+        page_index = self._commit_program(block_index, valid_bytes)
+        self.counters.primed_pages += 1
+        return page_index
+
+    def prime_erase(self, block_index: int) -> None:
+        """Untimed erase for experiment setup."""
+        info = self._info(block_index)
+        info.state = BlockState.FREE
+        info.next_page = 0
+        info.valid_bytes = 0
+        info.erase_count += 1
+
+    # -- timed operations ----------------------------------------------------
+
+    def read(
+        self, block_index: int, page_index: int, nbytes: int
+    ) -> Generator[Event, None, None]:
+        """Read ``nbytes`` from a programmed page (timed).
+
+        The die senses the full page; only ``nbytes`` cross the channel.
+        """
+        info = self._info(block_index)
+        self.geometry.check_page(block_index, page_index)
+        if page_index >= info.next_page and info.state is not BlockState.CLOSED:
+            raise SimulationError(
+                f"read of unprogrammed page {page_index} in block {block_index}"
+            )
+        nbytes = min(nbytes, self.geometry.page_bytes)
+        yield from self.die_resource(block_index).serve(self.timing.read_us)
+        yield from self.channel_resource(block_index).serve(
+            self.timing.transfer_us(nbytes)
+        )
+        self.counters.page_reads += 1
+        self.counters.bytes_read += nbytes
+
+    def program(
+        self, block_index: int, nbytes: int, valid_bytes: int
+    ) -> Generator[Event, None, int]:
+        """Program the next page of an OPEN block (timed).
+
+        ``nbytes`` is the transfer size (normally the full page);
+        ``valid_bytes`` is how much of the page holds live data for GC
+        accounting.  Returns the programmed page index.
+        """
+        nbytes = min(nbytes, self.geometry.page_bytes)
+        yield from self.channel_resource(block_index).serve(
+            self.timing.transfer_us(nbytes)
+        )
+        yield from self.die_resource(block_index).serve(self.timing.program_us)
+        page_index = self._commit_program(block_index, valid_bytes)
+        self.counters.page_programs += 1
+        self.counters.bytes_programmed += nbytes
+        return page_index
+
+    def erase(self, block_index: int) -> Generator[Event, None, None]:
+        """Erase a block (timed), returning it to the FREE state."""
+        info = self._info(block_index)
+        if info.valid_bytes != 0:
+            raise SimulationError(
+                f"erase of block {block_index} with {info.valid_bytes} valid "
+                "bytes; relocate live data first"
+            )
+        yield from self.die_resource(block_index).serve(self.timing.erase_us)
+        info.state = BlockState.FREE
+        info.next_page = 0
+        info.erase_count += 1
+        self.counters.block_erases += 1
+
+    # -- aggregate views -----------------------------------------------------
+
+    def free_blocks(self) -> int:
+        """Number of blocks currently FREE."""
+        return sum(1 for info in self.blocks if info.state is BlockState.FREE)
+
+    def total_valid_bytes(self) -> int:
+        """Live bytes across the whole array."""
+        return sum(info.valid_bytes for info in self.blocks)
+
+    def write_amplification(self) -> float:
+        """Programmed bytes / host-attributable bytes is FTL-level; here we
+        expose programmed-page totals for the FTLs to normalize."""
+        return float(self.counters.page_programs)

@@ -1,0 +1,81 @@
+"""Wear-leveling statistics over the flash array.
+
+Not a paper figure, but a standard device-health view any SSD study keeps
+an eye on: per-block erase counts, their spread, and a wear-leveling
+quality score.  The GC victim policies in :mod:`repro.ftl.victim` trade
+write amplification against wear spread; these statistics make that trade
+visible to the ablation bench and to tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.flash.nand import FlashArray
+
+
+@dataclass(frozen=True)
+class WearReport:
+    """Summary of erase-count dispersion across blocks."""
+
+    blocks: int
+    total_erases: int
+    min_erases: int
+    max_erases: int
+    mean_erases: float
+    stddev_erases: float
+
+    @property
+    def spread(self) -> int:
+        """Max minus min erase count (0 = perfectly level)."""
+        return self.max_erases - self.min_erases
+
+    @property
+    def evenness(self) -> float:
+        """1 / (1 + coefficient of variation): 1.0 is perfectly even."""
+        if self.mean_erases == 0.0:
+            return 1.0
+        return 1.0 / (1.0 + self.stddev_erases / self.mean_erases)
+
+
+def wear_report(
+    array: FlashArray, exclude: Optional[Set[int]] = None
+) -> WearReport:
+    """Compute wear statistics, optionally excluding reserved blocks."""
+    exclude = exclude or set()
+    counts: List[int] = [
+        info.erase_count
+        for index, info in enumerate(array.blocks)
+        if index not in exclude
+    ]
+    if not counts:
+        raise ValueError("no blocks left after exclusions")
+    total = sum(counts)
+    mean = total / len(counts)
+    variance = sum((count - mean) ** 2 for count in counts) / len(counts)
+    return WearReport(
+        blocks=len(counts),
+        total_erases=total,
+        min_erases=min(counts),
+        max_erases=max(counts),
+        mean_erases=mean,
+        stddev_erases=math.sqrt(variance),
+    )
+
+
+def remaining_life_fraction(
+    array: FlashArray,
+    rated_cycles: int = 3000,
+    exclude: Optional[Set[int]] = None,
+) -> float:
+    """Fraction of rated P/E cycles left on the most-worn block.
+
+    Enterprise TLC like the paper's PM983 is rated around 1-3k cycles;
+    the device dies with its most-worn block.
+    """
+    if rated_cycles < 1:
+        raise ValueError(f"rated cycles must be >= 1, got {rated_cycles}")
+    report = wear_report(array, exclude)
+    return max(0.0, 1.0 - report.max_erases / rated_cycles)

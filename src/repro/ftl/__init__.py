@@ -1,0 +1,20 @@
+"""Shared FTL substrate: block pooling, allocation streams, GC victims, buffers."""
+
+from repro.ftl.pool import AllocationStream, FreeBlockPool
+from repro.ftl.victim import (
+    VictimSelector,
+    cost_benefit_victim,
+    greedy_victim,
+    select_victim,
+)
+from repro.ftl.writebuffer import WriteBuffer
+
+__all__ = [
+    "AllocationStream",
+    "FreeBlockPool",
+    "VictimSelector",
+    "WriteBuffer",
+    "cost_benefit_victim",
+    "greedy_victim",
+    "select_victim",
+]

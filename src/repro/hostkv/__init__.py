@@ -1,0 +1,13 @@
+"""Host-side storage stacks: file system, LSM-tree store, hash-index store."""
+
+from repro.hostkv.fs.ext4 import SimFileSystem
+from repro.hostkv.hashkv.store import HashKVConfig, HashKVStore
+from repro.hostkv.lsm.store import LSMConfig, LSMStore
+
+__all__ = [
+    "HashKVConfig",
+    "HashKVStore",
+    "LSMConfig",
+    "LSMStore",
+    "SimFileSystem",
+]

@@ -1,0 +1,5 @@
+"""Extent-based file system substrate (ext4 stand-in)."""
+
+from repro.hostkv.fs.ext4 import SimFileSystem
+
+__all__ = ["SimFileSystem"]

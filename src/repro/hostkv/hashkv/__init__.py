@@ -1,0 +1,5 @@
+"""Hash-index key-value store over raw block storage (Aerospike stand-in)."""
+
+from repro.hostkv.hashkv.store import HashKVConfig, HashKVStore
+
+__all__ = ["HashKVConfig", "HashKVStore"]

@@ -1,0 +1,29 @@
+"""LSM-tree key-value store (RocksDB stand-in)."""
+
+from repro.hostkv.lsm.compaction import (
+    CompactionTask,
+    level_bytes,
+    level_target_bytes,
+    merge_runs,
+    overlapping,
+    pick_compaction,
+    split_entries,
+)
+from repro.hostkv.lsm.memtable import Memtable
+from repro.hostkv.lsm.sstable import BlockCache, SSTable
+from repro.hostkv.lsm.store import LSMConfig, LSMStore
+
+__all__ = [
+    "BlockCache",
+    "CompactionTask",
+    "LSMConfig",
+    "LSMStore",
+    "Memtable",
+    "SSTable",
+    "level_bytes",
+    "level_target_bytes",
+    "merge_runs",
+    "overlapping",
+    "pick_compaction",
+    "split_entries",
+]

@@ -1,0 +1,70 @@
+"""Memtable: the LSM engine's in-memory write buffer.
+
+Entries are (key -> value size) with ``None`` marking a tombstone.  Only
+sizes are tracked (the simulator moves bytes, not contents); the per-entry
+overhead approximates a skiplist node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.errors import ConfigurationError
+
+#: Approximate skiplist/arena overhead per entry.
+ENTRY_OVERHEAD_BYTES = 24
+
+
+class Memtable:
+    """Size-tracking in-memory table with tombstone support."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 1:
+            raise ConfigurationError(
+                f"memtable capacity must be >= 1 byte, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._entries: Dict[bytes, Optional[int]] = {}
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    @property
+    def bytes_used(self) -> int:
+        """Approximate arena usage."""
+        return self._bytes
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the memtable should rotate."""
+        return self._bytes >= self.capacity_bytes
+
+    def put(self, key: bytes, value_bytes: Optional[int]) -> None:
+        """Insert or overwrite; ``None`` writes a tombstone."""
+        if value_bytes is not None and value_bytes < 0:
+            raise ConfigurationError(f"negative value size {value_bytes}")
+        previous = self._entries.get(key, -1)
+        if previous != -1:
+            self._bytes -= self._entry_bytes(key, previous)
+        self._entries[key] = value_bytes
+        self._bytes += self._entry_bytes(key, value_bytes)
+
+    def get(self, key: bytes) -> Optional[int]:
+        """Value size, ``None`` for a tombstone; KeyError when absent."""
+        return self._entries[key]
+
+    def entries(self) -> Dict[bytes, Optional[int]]:
+        """Snapshot of the contents (used when flushing to an SSTable)."""
+        return dict(self._entries)
+
+    def keys(self) -> Iterator[bytes]:
+        """Iterate keys in insertion order."""
+        return iter(self._entries)
+
+    @staticmethod
+    def _entry_bytes(key: bytes, value_bytes: Optional[int]) -> int:
+        return len(key) + (value_bytes or 0) + ENTRY_OVERHEAD_BYTES

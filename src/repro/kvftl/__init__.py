@@ -1,0 +1,40 @@
+"""KV-SSD firmware personality (hash-indexed, log-packing FTL)."""
+
+from repro.kvftl.blob import (
+    BlobLayout,
+    blobs_per_page,
+    layout_blob,
+    space_amplification,
+    usable_page_bytes,
+    validate_key,
+    validate_value_size,
+)
+from repro.kvftl.config import KVSSDConfig
+from repro.kvftl.device import KVSSD
+from repro.kvftl.hashindex import GlobalHashIndex, MergeWork
+from repro.kvftl.indexmanager import BloomModel, IndexManagerPool
+from repro.kvftl.iterator import IteratorBuckets
+from repro.kvftl.keyhash import hash_fraction, iterator_bucket, key_hash64
+from repro.kvftl.population import KeyScheme, PrimedPopulation
+
+__all__ = [
+    "BlobLayout",
+    "BloomModel",
+    "GlobalHashIndex",
+    "IndexManagerPool",
+    "IteratorBuckets",
+    "KVSSD",
+    "KVSSDConfig",
+    "KeyScheme",
+    "MergeWork",
+    "PrimedPopulation",
+    "blobs_per_page",
+    "hash_fraction",
+    "iterator_bucket",
+    "key_hash64",
+    "layout_blob",
+    "space_amplification",
+    "usable_page_bytes",
+    "validate_key",
+    "validate_value_size",
+]

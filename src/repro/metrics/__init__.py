@@ -1,0 +1,25 @@
+"""Measurement instruments: latency, bandwidth, CPU, space, device counters."""
+
+from repro.metrics.bandwidth import BandwidthPoint, BandwidthTracker
+from repro.metrics.counters import DeviceCounters
+from repro.metrics.cpu import CpuAccountant, CpuReport
+from repro.metrics.latency import (
+    LatencyRecorder,
+    LatencySummary,
+    latency_ratio,
+    percentile,
+)
+from repro.metrics.space import SpaceAccountant
+
+__all__ = [
+    "BandwidthPoint",
+    "BandwidthTracker",
+    "CpuAccountant",
+    "CpuReport",
+    "DeviceCounters",
+    "LatencyRecorder",
+    "LatencySummary",
+    "SpaceAccountant",
+    "latency_ratio",
+    "percentile",
+]

@@ -1,0 +1,77 @@
+"""Device-level event counters (the simulator's S.M.A.R.T. / NVMe-CLI view).
+
+Both firmware personalities expose a :class:`DeviceCounters` with garbage
+collection activity, host-attributed traffic, and derived quantities such
+as write amplification.  Experiments snapshot counters around a measurement
+phase and report deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class DeviceCounters:
+    """Cumulative FTL-level counters."""
+
+    host_reads: int = 0
+    host_writes: int = 0
+    host_read_bytes: int = 0
+    host_write_bytes: int = 0
+    gc_runs: int = 0
+    foreground_gc_runs: int = 0
+    gc_relocated_bytes: int = 0
+    gc_erased_blocks: int = 0
+    index_flash_reads: int = 0
+    index_flash_writes: int = 0
+    #: (time_us, was_foreground) for every GC run, for time-series overlays.
+    gc_events: List[Tuple[float, bool]] = field(default_factory=list)
+
+    def snapshot(self) -> "DeviceCounters":
+        """Copy for before/after deltas."""
+        clone = DeviceCounters(
+            host_reads=self.host_reads,
+            host_writes=self.host_writes,
+            host_read_bytes=self.host_read_bytes,
+            host_write_bytes=self.host_write_bytes,
+            gc_runs=self.gc_runs,
+            foreground_gc_runs=self.foreground_gc_runs,
+            gc_relocated_bytes=self.gc_relocated_bytes,
+            gc_erased_blocks=self.gc_erased_blocks,
+            index_flash_reads=self.index_flash_reads,
+            index_flash_writes=self.index_flash_writes,
+        )
+        clone.gc_events = list(self.gc_events)
+        return clone
+
+    def delta(self, earlier: "DeviceCounters") -> "DeviceCounters":
+        """Counter difference ``self - earlier``."""
+        diff = DeviceCounters(
+            host_reads=self.host_reads - earlier.host_reads,
+            host_writes=self.host_writes - earlier.host_writes,
+            host_read_bytes=self.host_read_bytes - earlier.host_read_bytes,
+            host_write_bytes=self.host_write_bytes - earlier.host_write_bytes,
+            gc_runs=self.gc_runs - earlier.gc_runs,
+            foreground_gc_runs=(
+                self.foreground_gc_runs - earlier.foreground_gc_runs
+            ),
+            gc_relocated_bytes=(
+                self.gc_relocated_bytes - earlier.gc_relocated_bytes
+            ),
+            gc_erased_blocks=self.gc_erased_blocks - earlier.gc_erased_blocks,
+            index_flash_reads=self.index_flash_reads - earlier.index_flash_reads,
+            index_flash_writes=(
+                self.index_flash_writes - earlier.index_flash_writes
+            ),
+        )
+        diff.gc_events = self.gc_events[len(earlier.gc_events):]
+        return diff
+
+    def write_amplification(self) -> float:
+        """(host + GC-relocated bytes) / host bytes; 1.0 when idle."""
+        if self.host_write_bytes == 0:
+            return 1.0
+        moved = self.host_write_bytes + self.gc_relocated_bytes
+        return moved / self.host_write_bytes

@@ -1,0 +1,22 @@
+"""NVMe command-set and host driver models."""
+
+from repro.nvme.command import (
+    INLINE_KEY_BYTES,
+    NVME_COMMAND_BYTES,
+    KVCommandSet,
+    KVOpcode,
+    commands_for_key,
+    compound_command_count,
+)
+from repro.nvme.driver import DriverCosts, KernelDeviceDriver
+
+__all__ = [
+    "DriverCosts",
+    "INLINE_KEY_BYTES",
+    "KernelDeviceDriver",
+    "KVCommandSet",
+    "KVOpcode",
+    "NVME_COMMAND_BYTES",
+    "commands_for_key",
+    "compound_command_count",
+]

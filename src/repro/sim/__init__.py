@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation substrate.
+
+Exports the engine (:class:`Environment`, :class:`Event`, :class:`Process`)
+and the contention primitives (:class:`Resource`, :class:`TokenBucket`) used
+by every timed component in the SSD models.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Process,
+    ProcessGenerator,
+    Timeout,
+)
+from repro.sim.resources import Request, Resource, TokenBucket
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Process",
+    "ProcessGenerator",
+    "Request",
+    "Resource",
+    "Timeout",
+    "TokenBucket",
+]

@@ -1,0 +1,358 @@
+"""A small deterministic discrete-event simulation engine.
+
+The engine follows the familiar generator-coroutine style of SimPy: model
+code is written as generator functions that ``yield`` events (timeouts,
+resource requests, other processes), and the :class:`Environment` advances a
+virtual clock from event to event.
+
+Only the features the SSD models need are implemented, which keeps the
+engine small enough to reason about and test exhaustively:
+
+* :class:`Event` — one-shot triggerable with callbacks and a value.
+* :class:`Timeout` — an event scheduled a fixed delay in the future.
+* :class:`Process` — drives a generator; is itself an event that triggers
+  when the generator returns, carrying the generator's return value.
+* :class:`AnyOf` / :class:`AllOf` — composite events.
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so repeated
+runs of the same model produce identical traces.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(5.0)
+...     return "done at %.0f" % env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+'done at 5'
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+#: Type alias for model coroutines driven by :class:`Process`.
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` (or
+    :meth:`fail`) triggers it, records its value, and schedules its
+    callbacks to run at the current simulation time.  Waiting processes are
+    resumed through those callbacks.
+    """
+
+    __slots__ = ("env", "callbacks", "_triggered", "_value", "_failed", "_processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callables invoked with this event when it fires.
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._failed = False
+        # True once the environment has drained this event's callbacks; a
+        # process yielding an already-processed event must resume via a
+        # relay event rather than by appending a callback nobody will run.
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has fired (successfully or not)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the environment has already run this event's callbacks."""
+        return self._processed
+
+    @property
+    def failed(self) -> bool:
+        """Whether the event fired through :meth:`fail`."""
+        return self._failed
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (or the exception, if failed)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._triggered = True
+        self._value = value
+        self.env._enqueue_triggered(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, re-raised in waiters."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._failed = True
+        self._value = exception
+        self.env._enqueue_triggered(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units from now."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """Runs a generator coroutine; triggers when the generator returns.
+
+    The process resumes its generator every time the event the generator
+    yielded fires.  Successful events send their value into the generator;
+    failed events throw their exception into it, so model code can use
+    ordinary ``try/except`` around ``yield``.
+    """
+
+    __slots__ = ("_generator", "name")
+
+    def __init__(
+        self, env: "Environment", generator: ProcessGenerator, name: str = ""
+    ) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                "process() requires a generator; did you forget to call "
+                "the generator function?"
+            )
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the generator at the current time via an immediate event.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return not self._triggered
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's outcome."""
+        try:
+            if event.failed:
+                target = self._generator.throw(event.value)
+            else:
+                target = self._generator.send(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:  # model raised: propagate to waiters
+            if not self.callbacks:
+                # Nobody is waiting (e.g. a background worker): surface the
+                # failure loudly instead of swallowing it.
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Event instances"
+            )
+        if target.env is not self.env:
+            raise SimulationError("cannot wait on an event from another Environment")
+        if target.processed:
+            # The event fired in the past and its callbacks already ran;
+            # resume through a fresh relay event so we still wake up.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            if target.failed:
+                relay.fail(target.value)
+            else:
+                relay.succeed(target.value)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Condition(Event):
+    """Base for composite events over a fixed set of child events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events: Tuple[Event, ...] = tuple(events)
+        for child in self.events:
+            if child.env is not env:
+                raise SimulationError(
+                    "condition mixes events from different environments"
+                )
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for child in self.events:
+            if child.processed:
+                # Callbacks already drained: deliver the outcome directly.
+                self._child_fired(child)
+            else:
+                child.callbacks.append(self._child_fired)
+
+    def _child_fired(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ()
+
+    def _child_fired(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.failed:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([child.value for child in self.events])
+
+
+class AnyOf(Condition):
+    """Fires when the first child event fires; value is that event's value."""
+
+    __slots__ = ()
+
+    def _child_fired(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.failed:
+            self.fail(event.value)
+            return
+        self.succeed(event.value)
+
+
+class Environment:
+    """Holds the event queue and the simulation clock.
+
+    The clock starts at 0.0 microseconds and only moves when :meth:`run`
+    processes events.  All model components sharing an environment observe
+    the same clock.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._processed_events = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events processed so far (diagnostic)."""
+        return self._processed_events
+
+    # -- event construction helpers ------------------------------------
+
+    def event(self) -> Event:
+        """Create an untriggered event bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` microseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process driving ``generator``; returns its event."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event that fires once all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling internals -------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def _enqueue_triggered(self, event: Event) -> None:
+        """Schedule an already-triggered event's callbacks for 'now'."""
+        if not isinstance(event, Timeout):
+            self._schedule(event, 0.0)
+
+    def _step(self) -> None:
+        """Process exactly one event from the queue."""
+        fire_at, _seq, event = heapq.heappop(self._queue)
+        self._now = fire_at
+        callbacks, event.callbacks = event.callbacks, []
+        event._processed = True
+        self._processed_events += 1
+        for callback in callbacks:
+            callback(event)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the queue empties or the clock passes ``until``.
+
+        ``until`` is an absolute simulation time.  When provided, the clock
+        is advanced exactly to ``until`` even if the last processed event
+        fired earlier, so bandwidth windows measured against ``env.now``
+        have the expected width.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until {until}; clock is already at {self._now}"
+            )
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self._step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_until_complete(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` fires; return its value (raise if it failed).
+
+        ``limit`` bounds the simulated time as a safety net against model
+        deadlocks; exceeding it raises :class:`SimulationError`.
+        """
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    "event queue drained before the awaited event fired "
+                    "(model deadlock?)"
+                )
+            if self._now > limit:
+                raise SimulationError(f"simulation exceeded time limit {limit}")
+            self._step()
+        if event.failed:
+            raise event.value
+        return event.value

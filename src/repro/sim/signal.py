@@ -1,0 +1,47 @@
+"""Broadcast signal: a re-armable condition variable for processes.
+
+A :class:`Signal` lets any number of processes wait for "something
+changed" notifications — the flusher waits for new dirty data, the GC
+worker waits for low-space announcements.  Unlike an :class:`Event`, a
+signal can be notified repeatedly; each notification wakes everyone who
+was waiting at that moment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.engine import Environment, Event
+
+
+class Signal:
+    """Re-armable broadcast wakeup."""
+
+    def __init__(self, env: Environment, name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self._waiters: List[Event] = []
+        self._notify_count = 0
+
+    @property
+    def notify_count(self) -> int:
+        """Number of notifications delivered (diagnostic)."""
+        return self._notify_count
+
+    @property
+    def waiting(self) -> int:
+        """Number of processes currently parked on the signal."""
+        return len(self._waiters)
+
+    def wait(self) -> Event:
+        """Return an event that fires at the next :meth:`notify_all`."""
+        waiter = Event(self.env)
+        self._waiters.append(waiter)
+        return waiter
+
+    def notify_all(self) -> None:
+        """Wake every process currently waiting."""
+        self._notify_count += 1
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.succeed(None)

@@ -1,0 +1,42 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_every_experiment():
+    parser = build_parser()
+    for name in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                 "headline", "all"):
+        args = parser.parse_args([name])
+        assert args.experiment == name
+
+
+def test_parser_rejects_unknown_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fig99"])
+
+
+def test_parser_options():
+    args = build_parser().parse_args(["fig3", "--measured-ops", "123"])
+    assert args.measured_ops == 123
+    args = build_parser().parse_args(["fig5", "--n-ops", "77"])
+    assert args.n_ops == 77
+
+
+def test_fig7_command_prints_table(capsys):
+    exit_code = main(["fig7"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "KV-SSD" in captured
+    assert "Aerospike" in captured
+    assert "3.84 TB" in captured
+
+
+def test_fig8_command_prints_cliff(capsys):
+    exit_code = main(["fig8", "--n-ops", "300"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "cliff past 16B" in captured

@@ -1,0 +1,73 @@
+"""Smoke tests for the figure experiments at miniature scale.
+
+The benchmarks run the figures at reproduction scale; these tests run the
+same code paths at the smallest meaningful sizes so `pytest tests/`
+exercises every experiment end to end in seconds.
+"""
+
+import pytest
+
+from repro.core.figures import (
+    fig2_end_to_end,
+    fig4_value_size_concurrency,
+    fig5_packing_bandwidth,
+    fig7_space_amplification,
+    fig8_key_size_bandwidth,
+)
+from repro.units import KIB
+
+
+def test_fig2_minimal_kv_only():
+    result = fig2_end_to_end(
+        n_ops=250, systems=("kvssd",), patterns=("seq", "rand"),
+        blocks_per_plane=8,
+    )
+    phases = result.latency_us["kvssd"]["rand"]
+    assert set(phases) == {"insert", "update", "read"}
+    assert all(value > 0 for value in phases.values())
+    # Hash indexing: no sequential advantage.
+    ratio = (
+        result.latency_us["kvssd"]["seq"]["insert"]
+        / result.latency_us["kvssd"]["rand"]["insert"]
+    )
+    assert 0.8 < ratio < 1.25
+
+
+def test_fig4_single_cell():
+    result = fig4_value_size_concurrency(
+        value_sizes=(4 * KIB,), queue_depths=(1,), n_ops=200,
+        blocks_per_plane=8,
+    )
+    ratio = result.ratio["write"][1][4 * KIB]
+    assert 1.5 < ratio < 4.0  # the paper's ~2.5x zone
+    assert result.latency_us["kv"]["write"][1][4 * KIB] > 0
+
+
+def test_fig5_boundary_pair():
+    result = fig5_packing_bandwidth(
+        value_sizes=(24 * KIB, 25 * KIB), n_ops=200, blocks_per_plane=8
+    )
+    assert result.kv_fragments[24 * KIB] == 1
+    assert result.kv_fragments[25 * KIB] == 3
+    assert result.kv_mib_s[25 * KIB] < result.kv_mib_s[24 * KIB]
+
+
+def test_fig7_three_sizes():
+    result = fig7_space_amplification(
+        value_sizes=(50, 1024, 4096), kvps=3000, blocks_per_plane=8
+    )
+    assert result.sa["kvssd"][50] > 10.0
+    assert result.sa["kvssd"][4096] < 1.05
+    assert result.sa["aerospike"][50] < 2.0
+    assert result.sa["rocksdb"][50] == pytest.approx(1.0 + 1.0 / 9.0)
+    assert 2.8e9 < result.max_kvps_full_scale < 3.4e9
+
+
+def test_fig8_cliff_minimal():
+    result = fig8_key_size_bandwidth(
+        key_sizes=(16, 24), n_ops=400, async_queue_depth=16,
+        blocks_per_plane=8,
+    )
+    assert result.commands[16] == 1
+    assert result.commands[24] == 2
+    assert result.mib_s["async"][24] < result.mib_s["async"][16]

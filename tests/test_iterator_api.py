@@ -1,0 +1,93 @@
+"""Tests for the prefix-iteration surface (SNIA iterators)."""
+
+import pytest
+
+from repro.core.experiment import build_kv_rig, lab_geometry
+from repro.errors import ConfigurationError
+from repro.kvftl.population import KeyScheme
+
+
+def run(rig, generator):
+    return rig.env.run_until_complete(rig.env.process(generator))
+
+
+def test_iterate_returns_prefix_matches_sorted():
+    rig = build_kv_rig(lab_geometry(4))
+
+    def session(env):
+        for i in (3, 1, 2):
+            yield env.process(rig.api.store(b"pref-key-%07d" % i, 128))
+        yield env.process(rig.api.store(b"othr-key-0000001", 128))
+        keys = yield env.process(rig.api.iterate(b"pref"))
+        return keys
+
+    keys = run(rig, session(rig.env))
+    assert keys == [b"pref-key-%07d" % i for i in (1, 2, 3)]
+
+
+def test_iterate_sees_primed_population():
+    rig = build_kv_rig(lab_geometry(4))
+    scheme = KeyScheme(prefix=b"popl", digits=12)
+    rig.device.fast_fill(500, 256, scheme)
+
+    def session(env):
+        keys = yield env.process(rig.api.iterate(b"popl", limit=1000))
+        return keys
+
+    keys = run(rig, session(rig.env))
+    assert len(keys) == 500
+    assert keys[0] == scheme.key_for(0)
+
+
+def test_iterate_excludes_deleted_pairs():
+    rig = build_kv_rig(lab_geometry(4))
+
+    def session(env):
+        for i in range(4):
+            yield env.process(rig.api.store(b"delt-key-%07d" % i, 64))
+        yield env.process(rig.api.delete(b"delt-key-0000002"))
+        keys = yield env.process(rig.api.iterate(b"delt"))
+        return keys
+
+    keys = run(rig, session(rig.env))
+    assert b"delt-key-0000002" not in keys
+    assert len(keys) == 3
+
+
+def test_iterate_respects_limit():
+    rig = build_kv_rig(lab_geometry(4))
+    scheme = KeyScheme(prefix=b"many", digits=12)
+    rig.device.fast_fill(300, 64, scheme)
+
+    def session(env):
+        keys = yield env.process(rig.api.iterate(b"many", limit=10))
+        return keys
+
+    assert len(run(rig, session(rig.env))) == 10
+
+
+def test_iterate_validates_prefix():
+    rig = build_kv_rig(lab_geometry(4))
+    with pytest.raises(ConfigurationError):
+        run(rig, rig.device.iterate(b"toolong"))
+    with pytest.raises(ConfigurationError):
+        run(rig, rig.device.iterate(b"abcd", limit=0))
+
+
+def test_iterate_cost_scales_with_bucket_size():
+    rig = build_kv_rig(lab_geometry(4))
+    big_scheme = KeyScheme(prefix=b"bigb", digits=12)
+    rig.device.fast_fill(20_000, 64, big_scheme)
+
+    def timed(env, prefix):
+        started = env.now
+        yield env.process(rig.api.iterate(prefix, limit=5))
+        return env.now - started
+
+    def store_one(env):
+        yield env.process(rig.api.store(b"tiny-key-0000001", 64))
+
+    run(rig, store_one(rig.env))
+    small = run(rig, timed(rig.env, b"tiny"))
+    large = run(rig, timed(rig.env, b"bigb"))
+    assert large > small  # more bucket pages to walk

@@ -1,0 +1,226 @@
+"""Unit tests for workload generation and the queue-depth runner."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.kvbench.distributions import (
+    ZipfianGenerator,
+    sequential_indices,
+    sliding_window_indices,
+    uniform_indices,
+)
+from repro.kvbench.report import format_series, format_table, sparkline
+from repro.kvbench.runner import RunResult, drive_workload
+from repro.kvbench.workload import (
+    OpType,
+    Pattern,
+    WorkloadSpec,
+    generate_operations,
+)
+from repro.kvftl.population import KeyScheme
+from repro.sim.engine import Environment
+
+
+# -- distributions ---------------------------------------------------------------
+
+
+def test_sequential_wraps_population():
+    assert list(sequential_indices(5, 8)) == [0, 1, 2, 3, 4, 0, 1, 2]
+
+
+def test_uniform_deterministic_by_seed():
+    a = list(uniform_indices(100, 50, seed=3))
+    b = list(uniform_indices(100, 50, seed=3))
+    c = list(uniform_indices(100, 50, seed=4))
+    assert a == b
+    assert a != c
+    assert all(0 <= index < 100 for index in a)
+
+
+def test_zipfian_skew():
+    generator = ZipfianGenerator(10_000, theta=0.99, seed=7, scramble=False)
+    draws = list(generator.indices(20_000))
+    # Rank 0 is by far the most common under no scrambling.
+    share_of_top = draws.count(0) / len(draws)
+    assert share_of_top > 0.05
+    assert all(0 <= index < 10_000 for index in draws)
+
+
+def test_zipfian_scramble_disperses_hot_keys():
+    plain = ZipfianGenerator(10_000, seed=7, scramble=False)
+    scrambled = ZipfianGenerator(10_000, seed=7, scramble=True)
+    top_plain = max(set(plain.indices(5000)), key=list(plain.indices(5000)).count)
+    draws = list(scrambled.indices(5000))
+    hottest = max(set(draws), key=draws.count)
+    assert hottest != top_plain  # the hot identity moved somewhere else
+    assert draws.count(hottest) / len(draws) > 0.03  # but skew remains
+
+
+def test_zipfian_validates_parameters():
+    with pytest.raises(WorkloadError):
+        ZipfianGenerator(0)
+    with pytest.raises(WorkloadError):
+        ZipfianGenerator(10, theta=1.5)
+
+
+def test_sliding_window_traverses_population():
+    draws = list(sliding_window_indices(1000, 2000, window_fraction=0.05, seed=3))
+    assert all(0 <= index < 1000 for index in draws)
+    assert min(draws[:100]) < 100  # starts at the front
+    assert max(draws[-100:]) > 800  # ends near the back
+
+
+def test_sliding_window_stays_local():
+    draws = list(sliding_window_indices(10_000, 1000, window_fraction=0.01, seed=3))
+    for position, index in enumerate(draws):
+        base = int(position / 1000 * 10_000)
+        assert base <= index <= base + 100 or index < 100  # wraparound tail
+
+
+# -- workload specs -----------------------------------------------------------------
+
+
+def test_insert_uniform_covers_every_key_once():
+    spec = WorkloadSpec(n_ops=50, op="insert", pattern=Pattern.UNIFORM,
+                        population=50)
+    keys = [op.key_index for op in generate_operations(spec)]
+    assert sorted(keys) == list(range(50))
+    assert keys != list(range(50))  # but not in order
+
+
+def test_read_ops_have_zero_payload():
+    spec = WorkloadSpec(n_ops=10, op="read", population=10)
+    for op in generate_operations(spec):
+        assert op.op is OpType.READ
+        assert op.value_bytes == 0
+
+
+def test_mixed_workload_fraction():
+    spec = WorkloadSpec(n_ops=2000, op="mixed", population=100,
+                        read_fraction=0.7, value_bytes=100)
+    kinds = [op.op for op in generate_operations(spec)]
+    reads = sum(1 for kind in kinds if kind is OpType.READ)
+    assert 0.6 < reads / len(kinds) < 0.8
+
+
+def test_keys_follow_scheme():
+    scheme = KeyScheme(prefix=b"xy", digits=6)
+    spec = WorkloadSpec(n_ops=5, op="insert", pattern=Pattern.SEQUENTIAL,
+                        key_scheme=scheme)
+    ops = list(generate_operations(spec))
+    assert ops[0].key == b"xy000000"
+    assert all(len(op.key) == scheme.key_bytes for op in ops)
+
+
+def test_spec_validation():
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(n_ops=0, op="insert")
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(n_ops=1, op="unknown")
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(n_ops=1, op="insert", value_bytes=-1)
+
+
+# -- runner ----------------------------------------------------------------------------
+
+
+class FixedLatencyAdapter:
+    """Test double: constant-latency op execution with failure injection."""
+
+    def __init__(self, env, latency_us=10.0, fail_every=0):
+        self.env = env
+        self.latency_us = latency_us
+        self.fail_every = fail_every
+        self.executed = 0
+
+    def execute(self, op):
+        self.executed += 1
+        if self.fail_every and self.executed % self.fail_every == 0:
+            from repro.errors import KeyNotFoundError
+
+            def failing(env):
+                yield env.timeout(1.0)
+                raise KeyNotFoundError("injected")
+
+            return failing(self.env)
+
+        def success(env, nbytes):
+            yield env.timeout(self.latency_us)
+            return nbytes
+
+        return success(self.env, op.value_bytes or 100)
+
+
+def run_fixed(env, adapter, n_ops=40, queue_depth=4):
+    spec = WorkloadSpec(n_ops=n_ops, op="insert", pattern=Pattern.SEQUENTIAL,
+                        value_bytes=100)
+    process = env.process(
+        drive_workload(env, adapter, generate_operations(spec), queue_depth)
+    )
+    return env.run_until_complete(process)
+
+
+def test_runner_executes_all_ops():
+    env = Environment()
+    adapter = FixedLatencyAdapter(env)
+    result = run_fixed(env, adapter)
+    assert result.completed_ops == 40
+    assert result.failed_ops == 0
+    assert result.latency.count() == 40
+
+
+def test_queue_depth_parallelism():
+    env1 = Environment()
+    serial = run_fixed(env1, FixedLatencyAdapter(env1), queue_depth=1)
+    env4 = Environment()
+    parallel = run_fixed(env4, FixedLatencyAdapter(env4), queue_depth=4)
+    assert parallel.elapsed_us == pytest.approx(serial.elapsed_us / 4)
+
+
+def test_runner_counts_failures_without_raising():
+    env = Environment()
+    adapter = FixedLatencyAdapter(env, fail_every=5)
+    result = run_fixed(env, adapter)
+    assert result.failed_ops == 8
+    assert result.completed_ops == 32
+
+
+def test_runner_throughput():
+    env = Environment()
+    result = run_fixed(env, FixedLatencyAdapter(env, latency_us=10.0),
+                       n_ops=100, queue_depth=1)
+    assert result.throughput_kops() == pytest.approx(100.0)  # ops per ms
+
+
+def test_runner_rejects_bad_queue_depth():
+    env = Environment()
+    with pytest.raises(WorkloadError):
+        env.run_until_complete(
+            env.process(
+                drive_workload(env, FixedLatencyAdapter(env), [], queue_depth=0)
+            )
+        )
+
+
+# -- report ---------------------------------------------------------------------------
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "22.25" in lines[3]
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_format_series_and_sparkline():
+    assert format_series("x", [1.0, 2.5]) == "x: [1.0, 2.5]"
+    line = sparkline([0.0, 1.0, 2.0, 4.0])
+    assert len(line) == 4
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+    assert sparkline([]) == ""

@@ -1,0 +1,283 @@
+"""Integration tests for the KV-SSD personality."""
+
+import pytest
+
+from repro.errors import (
+    CapacityLimitError,
+    ConfigurationError,
+    InvalidKeyError,
+    InvalidValueError,
+    KeyNotFoundError,
+)
+from repro.flash.geometry import Geometry
+from repro.kvftl.config import KVSSDConfig
+from repro.kvftl.device import KVSSD
+from repro.kvftl.population import KeyScheme
+from repro.sim.engine import Environment
+from repro.units import KIB, MIB
+
+
+def make_ssd(blocks_per_plane=16, **config_kwargs):
+    geometry = Geometry(
+        channels=4,
+        dies_per_channel=2,
+        planes_per_die=2,
+        blocks_per_plane=blocks_per_plane,
+        pages_per_block=32,
+        page_bytes=32 * KIB,
+    )
+    env = Environment()
+    ssd = KVSSD(env, geometry, config=KVSSDConfig(**config_kwargs))
+    return env, ssd
+
+
+def run(env, generator, limit_delta=600e6):
+    process = env.process(generator)
+    return env.run_until_complete(process, limit=env.now + limit_delta)
+
+
+def key(i):
+    return b"testkey-%08d" % i
+
+
+def test_store_retrieve_roundtrip():
+    env, ssd = make_ssd()
+
+    def proc(env):
+        yield env.process(ssd.store(key(1), 4096))
+        value = yield env.process(ssd.retrieve(key(1)))
+        return value
+
+    assert run(env, proc(env)) == 4096
+    assert ssd.live_kvps == 1
+
+
+def test_retrieve_absent_raises():
+    env, ssd = make_ssd()
+    with pytest.raises(KeyNotFoundError):
+        run(env, ssd.retrieve(key(404)))
+
+
+def test_exist_truth():
+    env, ssd = make_ssd()
+
+    def proc(env):
+        yield env.process(ssd.store(key(1), 100))
+        present = yield env.process(ssd.exist(key(1)))
+        absent = yield env.process(ssd.exist(key(2)))
+        return present, absent
+
+    assert run(env, proc(env)) == (True, False)
+
+
+def test_delete_removes_pair():
+    env, ssd = make_ssd()
+
+    def proc(env):
+        yield env.process(ssd.store(key(1), 512))
+        yield env.process(ssd.drain())
+        yield env.process(ssd.delete(key(1)))
+
+    run(env, proc(env))
+    assert ssd.live_kvps == 0
+    assert not ssd.contains(key(1))
+    with pytest.raises(KeyNotFoundError):
+        run(env, ssd.retrieve(key(1)))
+
+
+def test_update_replaces_and_reclaims_accounting():
+    env, ssd = make_ssd()
+
+    def proc(env):
+        yield env.process(ssd.store(key(1), 1000))
+        yield env.process(ssd.drain())
+        yield env.process(ssd.store(key(1), 3000))
+        yield env.process(ssd.drain())
+        value = yield env.process(ssd.retrieve(key(1)))
+        return value
+
+    assert run(env, proc(env)) == 3000
+    assert ssd.live_kvps == 1
+    layout = ssd.layout_for(len(key(1)), 3000)
+    assert ssd.space.device_bytes == layout.footprint_bytes
+
+
+def test_key_and_value_validation():
+    env, ssd = make_ssd()
+    with pytest.raises(InvalidKeyError):
+        run(env, ssd.store(b"abc", 100))
+    with pytest.raises(InvalidKeyError):
+        run(env, ssd.store(b"x" * 300, 100))
+    with pytest.raises(InvalidValueError):
+        run(env, ssd.store(key(1), 3 * MIB))
+
+
+def test_sequential_and_random_store_latency_identical():
+    # The paper's central Fig. 2 finding: hashing removes any sequential
+    # advantage on the KV device.
+    env, ssd = make_ssd()
+
+    def measure(env, keys):
+        latencies = []
+        for one in keys:
+            started = env.now
+            yield env.process(ssd.store(one, 4096))
+            latencies.append(env.now - started)
+        yield env.process(ssd.drain())
+        return sum(latencies) / len(latencies)
+
+    import random
+
+    sequential = run(env, measure(env, [key(i) for i in range(200)]))
+    order = list(range(200, 400))
+    random.Random(3).shuffle(order)
+    scattered = run(env, measure(env, [key(i) for i in order]))
+    assert scattered == pytest.approx(sequential, rel=0.1)
+
+
+def test_split_value_store_and_retrieve():
+    env, ssd = make_ssd()
+    big = 60 * KIB
+
+    def proc(env):
+        yield env.process(ssd.store(key(9), big))
+        yield env.process(ssd.drain())
+        value = yield env.process(ssd.retrieve(key(9)))
+        return value
+
+    assert run(env, proc(env)) == big
+    record = ssd._records[key(9)]
+    assert len(record.fragments) > 1
+    assert all(location is not None for location in record.locations)
+    # Fragments land on distinct pages.
+    assert len(set(record.locations)) == len(record.locations)
+
+
+def test_split_store_slower_than_unsplit():
+    env, ssd = make_ssd()
+
+    def timed_store(env, one, value_bytes):
+        started = env.now
+        yield env.process(ssd.store(one, value_bytes))
+        return env.now - started
+
+    small = run(env, timed_store(env, key(1), 16 * KIB))
+    large = run(env, timed_store(env, key(2), 32 * KIB))
+    assert large > small + 100.0  # splitting penalty is material
+
+
+def test_fast_fill_pairs_indistinguishable_from_stored():
+    env, ssd = make_ssd()
+    scheme = KeyScheme(prefix=b"fill", digits=12)
+    population = ssd.fast_fill(5000, 512, scheme)
+    assert ssd.live_kvps == 5000
+    assert population.live_count == 5000
+
+    def proc(env):
+        value = yield env.process(ssd.retrieve(scheme.key_for(777)))
+        yield env.process(ssd.store(scheme.key_for(777), 512))  # update
+        yield env.process(ssd.drain())
+        updated = yield env.process(ssd.retrieve(scheme.key_for(777)))
+        yield env.process(ssd.delete(scheme.key_for(778)))
+        return value, updated
+
+    assert run(env, proc(env)) == (512, 512)
+    assert ssd.live_kvps == 4999
+    assert population.live_count == 4998  # 777 overridden, 778 deleted
+
+
+def test_fast_fill_rejects_split_and_duplicates():
+    env, ssd = make_ssd()
+    scheme = KeyScheme(prefix=b"fill", digits=12)
+    with pytest.raises(ConfigurationError):
+        ssd.fast_fill(10, 30 * KIB, scheme)
+    ssd.fast_fill(10, 512, scheme)
+    with pytest.raises(ConfigurationError):
+        ssd.fast_fill(10, 512, scheme)
+
+
+def test_capacity_limit_enforced():
+    env, ssd = make_ssd()
+    scheme = KeyScheme(prefix=b"fill", digits=12)
+    with pytest.raises(CapacityLimitError):
+        ssd.fast_fill(ssd.max_kvps + 1, 512, scheme)
+
+
+def test_space_amplification_small_values():
+    env, ssd = make_ssd()
+    ssd.fast_fill(1000, 50, KeyScheme(prefix=b"fill", digits=12))
+    # 50 B values with 16 B keys: ~15.5x (paper: up to ~17-20x).
+    assert 14.0 < ssd.space.amplification() < 17.0
+
+
+def test_gc_relocates_and_preserves_pairs():
+    env, ssd = make_ssd(blocks_per_plane=4, gc_threshold_fraction=0.25)
+    scheme = KeyScheme(prefix=b"fill", digits=12)
+    count = 3000  # ~16 blocks of 4 KiB blobs on this tiny geometry
+    ssd.fast_fill(count, 4096, scheme)
+
+    def churn(env):
+        # Update a rotating subset until GC must run.
+        for round_index in range(8):
+            for i in range(0, count, 3):
+                yield env.process(ssd.store(scheme.key_for(i), 4096))
+        yield env.process(ssd.drain())
+
+    run(env, churn(env))
+    assert ssd.counters.gc_runs > 0
+    assert ssd.live_kvps == count
+
+    def verify(env):
+        # Spot-check reads across primed, updated, and relocated pairs.
+        sizes = []
+        for i in (0, 1, 2, 3, count // 2, count - 1):
+            value = yield env.process(ssd.retrieve(scheme.key_for(i)))
+            sizes.append(value)
+        return sizes
+
+    assert run(env, verify(env)) == [4096] * 6
+
+
+def test_valid_bytes_consistency_after_churn():
+    env, ssd = make_ssd(blocks_per_plane=4, gc_threshold_fraction=0.25)
+    scheme = KeyScheme(prefix=b"fill", digits=12)
+    count = 2000
+
+    def churn(env):
+        for i in range(count):
+            yield env.process(ssd.store(scheme.key_for(i), 2048))
+        for i in range(0, count, 2):
+            yield env.process(ssd.store(scheme.key_for(i), 2048))
+        yield env.process(ssd.drain())
+
+    run(env, churn(env))
+    # Array-level valid bytes equal the space accountant's device bytes.
+    assert ssd.array.total_valid_bytes() == ssd.space.device_bytes
+
+
+def test_iterator_bucket_counts_follow_stores():
+    env, ssd = make_ssd()
+
+    def proc(env):
+        for i in range(10):
+            yield env.process(ssd.store(b"aaaa-%010d" % i, 100))
+        for i in range(5):
+            yield env.process(ssd.store(b"bbbb-%010d" % i, 100))
+
+    run(env, proc(env))
+    assert ssd.iterators.bucket_count(b"aaaa") == 10
+    assert ssd.iterators.bucket_count(b"bbbb") == 5
+
+
+def test_multi_command_key_costs_more_interface_time():
+    env, ssd = make_ssd()
+
+    def timed(env, ncommands):
+        started = env.now
+        yield env.process(ssd.store(key(1) if ncommands == 1 else key(2),
+                                    1024, ncommands))
+        return env.now - started
+
+    one = run(env, timed(env, 1))
+    two = run(env, timed(env, 2))
+    assert two == pytest.approx(one + ssd.config.host_interface_us)

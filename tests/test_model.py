@@ -1,0 +1,167 @@
+"""Tests for the analytical performance model, including sim validation."""
+
+import pytest
+
+from repro.core.experiment import build_kv_rig, lab_geometry
+from repro.core.model import KVSSDModel
+from repro.kvbench.runner import execute_workload
+from repro.kvbench.workload import Pattern, WorkloadSpec, generate_operations
+from repro.kvftl.config import KVSSDConfig
+from repro.kvftl.population import KeyScheme
+from repro.units import KIB, MIB
+
+
+def make_model(**config_kwargs):
+    return KVSSDModel(lab_geometry(8), KVSSDConfig(**config_kwargs))
+
+
+# -- index occupancy model -----------------------------------------------------
+
+
+def test_resident_fraction_monotone_decreasing():
+    model = make_model()
+    fractions = [model.resident_fraction(kvps) for kvps in
+                 (0, 10_000, 100_000, 1_000_000)]
+    assert fractions[0] == 1.0
+    assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+
+
+def test_lookup_reads_zero_at_low_fill():
+    model = make_model()
+    assert model.lookup_flash_reads(100) == 0.0
+
+
+def test_merge_cost_grows_with_occupancy():
+    model = make_model()
+    low = model.merge_flash_ops_per_insert(1000)
+    high = model.merge_flash_ops_per_insert(model.max_kvps())
+    assert low == 0.0
+    assert high > 1.0
+
+
+# -- latency model ----------------------------------------------------------------
+
+
+def test_store_latency_grows_with_occupancy():
+    model = make_model()
+    assert model.store_latency_us(16, 512, model.max_kvps()) > 4 * (
+        model.store_latency_us(16, 512, 0)
+    )
+
+
+def test_retrieve_latency_grows_with_value_size():
+    model = make_model()
+    small = model.retrieve_latency_us(16, 512)
+    large = model.retrieve_latency_us(16, 64 * KIB)
+    assert large > small
+
+
+def test_split_penalty_in_store_latency():
+    model = make_model()
+    below = model.store_latency_us(16, 24 * KIB)
+    above = model.store_latency_us(16, 25 * KIB)
+    assert above > below + 100.0
+
+
+def test_large_key_adds_command_overhead():
+    model = make_model()
+    small_key = model.store_latency_us(16, 1024)
+    large_key = model.store_latency_us(64, 1024)
+    assert large_key > small_key
+
+
+def test_breakdown_sums_to_total():
+    model = make_model()
+    breakdown = model.store_breakdown(16, 4 * KIB, 0)
+    assert breakdown.total_us == pytest.approx(
+        breakdown.host_us
+        + breakdown.controller_us
+        + breakdown.index_us
+        + breakdown.index_flash_us
+        + breakdown.data_flash_us
+        + breakdown.buffer_us
+    )
+
+
+# -- throughput model -----------------------------------------------------------------
+
+
+def test_store_throughput_decreases_with_value_size():
+    model = make_model()
+    small = model.store_throughput_kops(16, 512)
+    large = model.store_throughput_kops(16, 64 * KIB)
+    assert small > large
+
+
+def test_throughput_halves_for_two_command_keys_when_submission_bound():
+    model = make_model()
+    one_command = model.store_throughput_kops(16, 512)
+    two_commands = model.store_throughput_kops(64, 512)
+    assert two_commands < one_command
+    assert two_commands / one_command < 0.75
+
+
+# -- capacity model --------------------------------------------------------------------
+
+
+def test_max_kvps_full_scale_matches_paper():
+    model = make_model()
+    billions = model.max_kvps_at_capacity(3.84e12) / 1e9
+    assert 2.8 < billions < 3.4
+
+
+def test_space_amplification_matches_blob_layout():
+    model = make_model()
+    assert model.space_amplification(16, 50) == pytest.approx(1024 / 66)
+    assert model.space_amplification(16, 4096) < 1.05
+
+
+# -- validation against the simulator ------------------------------------------------------
+
+
+def _simulate_qd1(op, value_bytes, n_ops=400):
+    config = KVSSDConfig(index_dram_bytes=64 * MIB)
+    rig = build_kv_rig(lab_geometry(8), config=config)
+    scheme = KeyScheme(prefix=b"mdl-", digits=12)
+    insert_spec = WorkloadSpec(
+        n_ops=n_ops,
+        op="insert",
+        pattern=Pattern.SEQUENTIAL,
+        key_scheme=scheme,
+        value_bytes=value_bytes,
+        seed=73,
+    )
+    insert_run = execute_workload(
+        rig.env, rig.adapter, generate_operations(insert_spec), 1
+    )
+    if op == "insert":
+        return insert_run.latency.mean()
+    read_spec = WorkloadSpec(
+        n_ops=n_ops,
+        op="read",
+        pattern=Pattern.UNIFORM,
+        population=n_ops,
+        key_scheme=scheme,
+        value_bytes=value_bytes,
+        seed=79,
+    )
+    read_run = execute_workload(
+        rig.env, rig.adapter, generate_operations(read_spec), 1
+    )
+    return read_run.latency.mean()
+
+
+@pytest.mark.parametrize("value_bytes", [512, 4 * KIB])
+def test_model_predicts_store_latency(value_bytes):
+    model = KVSSDModel(lab_geometry(8), KVSSDConfig(index_dram_bytes=64 * MIB))
+    predicted = model.store_latency_us(16, value_bytes)
+    simulated = _simulate_qd1("insert", value_bytes)
+    assert abs(predicted - simulated) / simulated < 0.25
+
+
+@pytest.mark.parametrize("value_bytes", [512, 4 * KIB])
+def test_model_predicts_retrieve_latency(value_bytes):
+    model = KVSSDModel(lab_geometry(8), KVSSDConfig(index_dram_bytes=64 * MIB))
+    predicted = model.retrieve_latency_us(16, value_bytes)
+    simulated = _simulate_qd1("read", value_bytes)
+    assert abs(predicted - simulated) / simulated < 0.25

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvbench.distributions import ZipfianGenerator, sliding_window_indices
+from repro.kvftl.blob import layout_blob, usable_page_bytes
+from repro.kvftl.config import KVSSDConfig
+from repro.kvftl.keyhash import hash_fraction, iterator_bucket, key_hash64
+from repro.kvftl.population import KeyScheme
+from repro.metrics.latency import percentile
+from repro.nvme.command import commands_for_key
+from repro.units import KIB, align_up, ceil_div
+
+CFG = KVSSDConfig()
+PAGE = 32 * KIB
+
+
+# -- units ---------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10**12),
+       st.integers(min_value=1, max_value=10**6))
+def test_align_up_properties(value, alignment):
+    aligned = align_up(value, alignment)
+    assert aligned >= value
+    assert aligned % alignment == 0
+    assert aligned - value < alignment
+
+
+@given(st.integers(min_value=0, max_value=10**12),
+       st.integers(min_value=1, max_value=10**6))
+def test_ceil_div_properties(numerator, denominator):
+    result = ceil_div(numerator, denominator)
+    assert result * denominator >= numerator
+    assert (result - 1) * denominator < numerator or result == 0
+
+
+# -- blob layout ------------------------------------------------------------------
+
+
+@given(st.integers(min_value=4, max_value=255),
+       st.integers(min_value=0, max_value=2 * 1024 * 1024))
+@settings(max_examples=300)
+def test_layout_invariants(key_bytes, value_bytes):
+    layout = layout_blob(key_bytes, value_bytes, PAGE, CFG)
+    usable = usable_page_bytes(PAGE, CFG)
+    # Footprint covers the raw blob and respects the minimum allocation.
+    assert layout.footprint_bytes >= layout.raw_bytes
+    assert layout.footprint_bytes >= CFG.min_alloc_bytes
+    # Fragments partition the footprint and each fits a page.
+    assert sum(layout.fragments) == layout.footprint_bytes
+    assert all(0 < fragment <= usable for fragment in layout.fragments)
+    # Split iff the raw blob exceeds the usable page area.
+    assert layout.is_split == (layout.raw_bytes > usable)
+    if layout.is_split:
+        assert layout.data_fragments == ceil_div(layout.raw_bytes, usable)
+        assert layout.offset_pages == layout.data_fragments - 1
+    else:
+        assert layout.fragments == [layout.footprint_bytes]
+
+
+@given(st.integers(min_value=4, max_value=255),
+       st.integers(min_value=0, max_value=64 * 1024))
+def test_layout_monotone_in_value_size(key_bytes, value_bytes):
+    smaller = layout_blob(key_bytes, value_bytes, PAGE, CFG)
+    larger = layout_blob(key_bytes, value_bytes + 1, PAGE, CFG)
+    assert larger.footprint_bytes >= smaller.footprint_bytes
+
+
+# -- hashing ------------------------------------------------------------------------
+
+
+@given(st.binary(min_size=1, max_size=255))
+def test_hash_is_deterministic_and_bounded(key):
+    assert key_hash64(key) == key_hash64(key)
+    assert 0 <= key_hash64(key) < (1 << 64)
+    assert 0.0 <= hash_fraction(key) < 1.0
+
+
+@given(st.binary(min_size=4, max_size=64))
+def test_iterator_bucket_is_prefix(key):
+    bucket = iterator_bucket(key)
+    assert len(bucket) == 4
+    assert bucket == key[:4]
+
+
+# -- key schemes -----------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10**9),
+       st.integers(min_value=1, max_value=8),
+       st.integers(min_value=10, max_value=14))
+def test_key_scheme_bijective(index, prefix_len, digits):
+    scheme = KeyScheme(prefix=b"p" * prefix_len, digits=digits)
+    if index >= 10 ** digits:
+        return  # out of representable range for this scheme
+    key = scheme.key_for(index)
+    assert scheme.index_of(key) == index
+    assert len(key) == scheme.key_bytes
+
+
+@given(st.binary(min_size=1, max_size=32))
+def test_key_scheme_rejects_noise(noise):
+    scheme = KeyScheme(prefix=b"key-", digits=12)
+    recovered = scheme.index_of(noise)
+    if recovered is not None:
+        # Anything accepted must round-trip exactly.
+        assert scheme.key_for(recovered) == noise
+
+
+# -- NVMe commands -------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=1, max_value=255))
+def test_command_count_monotone_in_key_size(key_bytes):
+    assert commands_for_key(key_bytes) in (1, 2)
+    if key_bytes > 16:
+        assert commands_for_key(key_bytes) == 2
+
+
+# -- distributions ----------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=1, max_value=5000),
+       st.integers(min_value=1, max_value=500),
+       st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=50)
+def test_zipfian_draws_in_range(population, count, seed):
+    generator = ZipfianGenerator(population, seed=seed)
+    for index in generator.indices(count):
+        assert 0 <= index < population
+
+
+@given(st.integers(min_value=1, max_value=5000),
+       st.integers(min_value=1, max_value=500),
+       st.floats(min_value=0.001, max_value=1.0))
+@settings(max_examples=50)
+def test_sliding_window_in_range(population, count, fraction):
+    for index in sliding_window_indices(population, count, fraction, seed=1):
+        assert 0 <= index < population
+
+
+# -- percentiles ----------------------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=200),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_percentile_bounded_and_monotone(samples, fraction):
+    samples.sort()
+    value = percentile(samples, fraction)
+    epsilon = 1e-6 * max(1.0, abs(samples[-1]))
+    assert samples[0] - epsilon <= value <= samples[-1] + epsilon
+    if fraction < 1.0:
+        assert percentile(samples, fraction) <= percentile(samples, 1.0) + epsilon

@@ -1,0 +1,260 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+        yield env.timeout(2.5)
+        return env.now
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.value == 7.5
+    assert env.now == 7.5
+
+
+def test_timeout_rejects_negative_delay():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_process_return_value_delivered_to_waiter():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(3.0)
+        return 42
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return result * 2
+
+    process = env.process(parent(env))
+    env.run()
+    assert process.value == 84
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_exception_propagates_into_waiting_process():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent(env):
+        try:
+            yield env.process(failing(env))
+        except ValueError as exc:
+            return f"caught {exc}"
+        return "missed"
+
+    process = env.process(parent(env))
+    env.run()
+    assert process.value == "caught boom"
+
+
+def test_unhandled_process_exception_surfaces_via_run_until_complete():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("unattended")
+
+    process = env.process(failing(env))
+    with pytest.raises(RuntimeError, match="unattended"):
+        env.run_until_complete(process)
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(10.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_bound_stops_before_later_events():
+    env = Environment()
+    fired = []
+
+    def proc(env):
+        yield env.timeout(5.0)
+        fired.append("early")
+        yield env.timeout(100.0)
+        fired.append("late")
+
+    env.process(proc(env))
+    env.run(until=50.0)
+    assert fired == ["early"]
+    assert env.now == 50.0
+
+
+def test_run_until_rejects_past_target():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(10.0)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 10.0
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError):
+        event.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_yield_already_processed_event_resumes():
+    env = Environment()
+    early = env.event()
+    early.succeed("old news")
+
+    def late_joiner(env):
+        yield env.timeout(10.0)
+        value = yield early
+        return value
+
+    process = env.process(late_joiner(env))
+    env.run()
+    assert process.value == "old news"
+
+
+def test_all_of_collects_every_value():
+    env = Environment()
+
+    def worker(env, delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def parent(env):
+        children = [
+            env.process(worker(env, delay, delay * 10))
+            for delay in (3.0, 1.0, 2.0)
+        ]
+        values = yield env.all_of(children)
+        return values
+
+    process = env.process(parent(env))
+    env.run()
+    assert process.value == [30.0, 10.0, 20.0]
+    assert env.now == 3.0
+
+
+def test_any_of_fires_on_first_completion():
+    env = Environment()
+
+    def worker(env, delay):
+        yield env.timeout(delay)
+        return delay
+
+    def parent(env):
+        first = yield env.any_of(
+            [env.process(worker(env, 5.0)), env.process(worker(env, 2.0))]
+        )
+        return first
+
+    process = env.process(parent(env))
+    env.run()
+    assert process.value == 2.0
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def parent(env):
+        values = yield env.all_of([])
+        return values
+
+    process = env.process(parent(env))
+    env.run()
+    assert process.value == []
+
+
+def test_run_until_complete_detects_deadlock():
+    env = Environment()
+
+    def stuck(env):
+        yield env.event()  # never triggered
+
+    process = env.process(stuck(env))
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run_until_complete(process)
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def bad(env):
+        yield 42  # not an Event
+
+    process = env.process(bad(env))
+    with pytest.raises(SimulationError, match="yield"):
+        env.run_until_complete(process)
+
+
+def test_processed_event_counter_increases():
+    env = Environment()
+
+    def proc(env):
+        for _ in range(5):
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    assert env.processed_events >= 5
+
+
+def test_determinism_two_runs_identical():
+    def build_and_run():
+        env = Environment()
+        trace = []
+
+        def worker(env, tag, delay):
+            for step in range(3):
+                yield env.timeout(delay)
+                trace.append((env.now, tag, step))
+
+        env.process(worker(env, "x", 1.5))
+        env.process(worker(env, "y", 2.0))
+        env.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

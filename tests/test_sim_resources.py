@@ -1,0 +1,232 @@
+"""Unit tests for Resource, TokenBucket, and Signal."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource, TokenBucket
+from repro.sim.signal import Signal
+
+
+# -- Resource ----------------------------------------------------------------
+
+
+def test_resource_serializes_at_capacity_one():
+    env = Environment()
+    resource = Resource(env, 1)
+    finish_times = []
+
+    def worker(env):
+        yield from resource.serve(10.0)
+        finish_times.append(env.now)
+
+    for _ in range(3):
+        env.process(worker(env))
+    env.run()
+    assert finish_times == [10.0, 20.0, 30.0]
+
+
+def test_resource_parallel_at_higher_capacity():
+    env = Environment()
+    resource = Resource(env, 3)
+    finish_times = []
+
+    def worker(env):
+        yield from resource.serve(10.0)
+        finish_times.append(env.now)
+
+    for _ in range(3):
+        env.process(worker(env))
+    env.run()
+    assert finish_times == [10.0, 10.0, 10.0]
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    resource = Resource(env, 1)
+    order = []
+
+    def worker(env, tag):
+        yield from resource.serve(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(worker(env, tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_resource_rejects_zero_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, 0)
+
+
+def test_release_of_ungranted_request_rejected():
+    env = Environment()
+    resource = Resource(env, 1)
+    first = resource.request()
+    second = resource.request()  # queued, not granted
+    assert first.triggered
+    assert not second.triggered
+    with pytest.raises(SimulationError):
+        resource.release(second)
+
+
+def test_busy_fraction_tracks_utilization():
+    env = Environment()
+    resource = Resource(env, 1)
+
+    def worker(env):
+        yield from resource.serve(50.0)
+        yield env.timeout(50.0)
+
+    env.process(worker(env))
+    env.run()
+    assert resource.busy_fraction() == pytest.approx(0.5)
+
+
+def test_queue_length_visible_while_waiting():
+    env = Environment()
+    resource = Resource(env, 1)
+
+    def holder(env):
+        yield from resource.serve(100.0)
+
+    def observer(env):
+        yield env.timeout(1.0)
+        return resource.queue_length
+
+    env.process(holder(env))
+    env.process(holder(env))
+    env.process(holder(env))
+    probe = env.process(observer(env))
+    env.run()
+    assert probe.value == 2
+
+
+# -- TokenBucket ---------------------------------------------------------------
+
+
+def test_token_bucket_grants_when_available():
+    env = Environment()
+    bucket = TokenBucket(env, 10)
+    grant = bucket.get(4)
+    assert grant.triggered
+    assert bucket.available == 6
+
+
+def test_token_bucket_blocks_until_put():
+    env = Environment()
+    bucket = TokenBucket(env, 4, initial=0)
+    progress = []
+
+    def taker(env):
+        yield bucket.get(3)
+        progress.append(env.now)
+
+    def giver(env):
+        yield env.timeout(25.0)
+        bucket.put(3)
+
+    env.process(taker(env))
+    env.process(giver(env))
+    env.run()
+    assert progress == [25.0]
+
+
+def test_token_bucket_fifo_head_blocks_smaller_requests():
+    env = Environment()
+    bucket = TokenBucket(env, 10, initial=0)
+    order = []
+
+    def taker(env, amount, tag):
+        yield bucket.get(amount)
+        order.append(tag)
+
+    env.process(taker(env, 8, "big"))
+    env.process(taker(env, 1, "small"))
+
+    def feed(env):
+        yield env.timeout(1.0)
+        bucket.put(1)  # not enough for the head request
+        yield env.timeout(1.0)
+        bucket.put(8)  # head takes 8, leaving 1 for the small request
+
+    env.process(feed(env))
+    env.run()
+    assert order == ["big", "small"]
+
+
+def test_token_bucket_overflow_rejected():
+    env = Environment()
+    bucket = TokenBucket(env, 4)
+    with pytest.raises(SimulationError):
+        bucket.put(1)
+
+
+def test_token_bucket_rejects_oversized_request():
+    env = Environment()
+    bucket = TokenBucket(env, 4)
+    with pytest.raises(SimulationError):
+        bucket.get(5)
+
+
+def test_token_bucket_initial_bounds_checked():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        TokenBucket(env, 4, initial=9)
+
+
+# -- Signal ----------------------------------------------------------------------
+
+
+def test_signal_wakes_all_waiters():
+    env = Environment()
+    signal = Signal(env)
+    woken = []
+
+    def waiter(env, tag):
+        yield signal.wait()
+        woken.append((tag, env.now))
+
+    env.process(waiter(env, "a"))
+    env.process(waiter(env, "b"))
+
+    def notifier(env):
+        yield env.timeout(10.0)
+        signal.notify_all()
+
+    env.process(notifier(env))
+    env.run()
+    assert woken == [("a", 10.0), ("b", 10.0)]
+
+
+def test_signal_is_rearmable():
+    env = Environment()
+    signal = Signal(env)
+    wake_times = []
+
+    def waiter(env):
+        for _ in range(2):
+            yield signal.wait()
+            wake_times.append(env.now)
+
+    def notifier(env):
+        yield env.timeout(5.0)
+        signal.notify_all()
+        yield env.timeout(5.0)
+        signal.notify_all()
+
+    env.process(waiter(env))
+    env.process(notifier(env))
+    env.run()
+    assert wake_times == [5.0, 10.0]
+    assert signal.notify_count == 2
+
+
+def test_signal_notify_without_waiters_is_safe():
+    env = Environment()
+    signal = Signal(env)
+    signal.notify_all()
+    assert signal.waiting == 0

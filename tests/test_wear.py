@@ -1,0 +1,92 @@
+"""Tests for wear statistics."""
+
+import pytest
+
+from repro.flash.geometry import tiny_geometry
+from repro.flash.nand import FlashArray
+from repro.flash.timing import FlashTiming
+from repro.flash.wear import remaining_life_fraction, wear_report
+from repro.sim.engine import Environment
+
+
+def make_array():
+    env = Environment()
+    return FlashArray(env, tiny_geometry(), FlashTiming())
+
+
+def test_fresh_array_is_perfectly_level():
+    array = make_array()
+    report = wear_report(array)
+    assert report.total_erases == 0
+    assert report.spread == 0
+    assert report.evenness == 1.0
+    assert remaining_life_fraction(array) == 1.0
+
+
+def test_uneven_wear_detected():
+    array = make_array()
+    for _ in range(10):
+        array.prime_erase(0)
+    array.prime_erase(1)
+    report = wear_report(array)
+    assert report.max_erases == 10
+    assert report.min_erases == 0
+    assert report.spread == 10
+    assert report.evenness < 1.0
+
+
+def test_exclusions_remove_reserved_blocks():
+    array = make_array()
+    for _ in range(50):
+        array.prime_erase(3)
+    full = wear_report(array)
+    filtered = wear_report(array, exclude={3})
+    assert full.max_erases == 50
+    assert filtered.max_erases == 0
+    with pytest.raises(ValueError):
+        wear_report(array, exclude=set(range(array.geometry.total_blocks)))
+
+
+def test_remaining_life_fraction():
+    array = make_array()
+    for _ in range(1500):
+        array.prime_erase(0)
+    assert remaining_life_fraction(array, rated_cycles=3000) == pytest.approx(0.5)
+    for _ in range(2000):
+        array.prime_erase(0)
+    assert remaining_life_fraction(array, rated_cycles=3000) == 0.0
+    with pytest.raises(ValueError):
+        remaining_life_fraction(array, rated_cycles=0)
+
+
+def test_gc_spreads_wear_across_blocks():
+    """After sustained overwrite churn, GC erases many distinct blocks."""
+    from repro.blockftl.config import BlockSSDConfig
+    from repro.blockftl.device import BlockSSD
+    from repro.flash.geometry import Geometry
+    from repro.units import KIB
+
+    geometry = Geometry(
+        channels=2, dies_per_channel=2, planes_per_die=1,
+        blocks_per_plane=8, pages_per_block=16, page_bytes=32 * KIB,
+    )
+    env = Environment()
+    ssd = BlockSSD(env, geometry, config=BlockSSDConfig(
+        gc_threshold_fraction=0.3,
+    ))
+    span = ssd.n_units // 3
+
+    def churn(env):
+        for _round in range(10):
+            for unit in range(span):
+                yield env.process(ssd.write(unit * ssd.map_unit, ssd.map_unit))
+        yield env.process(ssd.drain())
+
+    process = env.process(churn(env))
+    env.run_until_complete(process, limit=600e6)
+    report = wear_report(ssd.array)
+    assert report.total_erases > 0
+    worn_blocks = sum(
+        1 for info in ssd.array.blocks if info.erase_count > 0
+    )
+    assert worn_blocks >= 3  # erases are not concentrated on one block
