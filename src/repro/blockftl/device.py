@@ -1,9 +1,9 @@
 """The block-SSD firmware personality.
 
-:class:`BlockSSD` composes the flash array, a page-level mapping, a
-segment cache, a DRAM write buffer with background flushers, and a garbage
-collector into the device the paper uses as its baseline (Samsung PM983
-with block firmware EDA53W0Q).
+:class:`BlockSSD` composes the flash array, a page-level mapping and a
+segment cache over the shared :class:`~repro.ftl.core.FtlCore` substrate
+(write buffer, flush workers, garbage collector) into the device the
+paper uses as its baseline (Samsung PM983 with block firmware EDA53W0Q).
 
 Host-visible semantics:
 
@@ -17,10 +17,12 @@ Host-visible semantics:
   relocation — the reason RocksDB-on-block never triggers foreground GC in
   the paper's Fig. 6a.
 
-Sequential versus random asymmetry is *emergent*: sequential streams hit
-the mapping segment cache (cheap lookups), random traffic misses and pays
-a serialized metadata load, reproducing the datasheet's ~0.8x/0.6x
-latency relationships without hard-coded factors.
+Only the LBA side lives here — unit splitting, the mapping, the segment
+cache, read-modify-write, and TRIM; batching, GC and telemetry are the
+core's.  Sequential versus random asymmetry is *emergent*: sequential
+streams hit the mapping segment cache (cheap lookups), random traffic
+misses and pays a serialized metadata load, reproducing the datasheet's
+~0.8x/0.6x latency relationships without hard-coded factors.
 """
 
 from __future__ import annotations
@@ -35,13 +37,9 @@ from repro.errors import AddressError, ConfigurationError
 from repro.flash.geometry import Geometry
 from repro.flash.nand import FlashArray
 from repro.flash.timing import FlashTiming
-from repro.ftl.pool import AllocationStream, FreeBlockPool
-from repro.ftl.victim import select_victim
-from repro.ftl.writebuffer import WriteBuffer
-from repro.metrics.counters import DeviceCounters
+from repro.ftl.core import DeviceStats, FlushBatch, FtlCore, GcItem
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
-from repro.sim.signal import Signal
 
 
 @dataclass
@@ -68,8 +66,10 @@ class BlockSSD:
         self.name = name
         self.config = config or BlockSSDConfig()
         self.timing = timing or FlashTiming()
-        self.array = FlashArray(env, geometry, self.timing)
-        self.counters = DeviceCounters()
+        self.stats = DeviceStats()
+        #: Legacy view kept for tooling; counters live on ``stats`` now.
+        self.counters = self.stats
+        self.array = FlashArray(env, geometry, self.timing, stats=self.stats)
 
         raw_bytes = geometry.capacity_bytes
         usable = int(raw_bytes * (1.0 - self.config.overprovision))
@@ -84,18 +84,23 @@ class BlockSSD:
         self.segment_cache = SegmentCache(
             self.config.segment_units, self.config.segment_cache_entries
         )
-        self.pool = FreeBlockPool(self.array)
-        self.user_stream = AllocationStream(
-            self.array, self.pool, self.config.stream_width, name=f"{name}.user"
+        self.core = FtlCore(
+            env,
+            self.array,
+            self,
+            stream_width=self.config.stream_width,
+            write_buffer_bytes=self.config.write_buffer_bytes,
+            flush_linger_us=self.config.flush_linger_us,
+            gc_threshold_fraction=self.config.gc_threshold_fraction,
+            gc_reserve_blocks=self.config.gc_reserve_blocks,
+            page_payload_bytes=self.slots_per_page * self.map_unit,
+            user_capacity_bytes=self.user_capacity_bytes,
+            gc_victim_policy=self.config.gc_victim_policy,
+            stats=self.stats,
+            name=name,
         )
-        # Narrow GC frontier: see the KV device's note — a wide GC stream
-        # can consume the very reserve garbage collection relies on.
-        self.gc_stream = AllocationStream(
-            self.array, self.pool, 2, name=f"{name}.gc"
-        )
-        self.buffer = WriteBuffer(
-            env, self.config.write_buffer_bytes, name=f"{name}.buffer"
-        )
+        self.pool = self.core.pool
+        self.buffer = self.core.buffer
         self.controller = Resource(
             env, self.config.controller_cores, name=f"{name}.ctl"
         )
@@ -104,17 +109,6 @@ class BlockSSD:
         self._pending: "OrderedDict[int, _PendingUnit]" = OrderedDict()
         self._latest_sequence: Dict[int, int] = {}
         self._sequence = 0
-        self._dirty = Signal(env, f"{name}.dirty")
-        self._space = Signal(env, f"{name}.space")
-        self._gc_wakeup = Signal(env, f"{name}.gcwake")
-        self._gc_threshold_blocks = max(
-            self.config.gc_reserve_blocks + 2,
-            int(geometry.total_blocks * self.config.gc_threshold_fraction),
-        )
-        self._shutdown = False
-        for worker_id in range(self.config.stream_width):
-            env.process(self._flush_worker(), name=f"{name}.flush{worker_id}")
-        env.process(self._gc_worker(), name=f"{name}.gc")
 
     # ------------------------------------------------------------------
     # address helpers
@@ -222,17 +216,12 @@ class BlockSSD:
                     unit, self.env.now, self._sequence
                 )
                 self._latest_sequence[unit] = self._sequence
-            if (
-                len(self._pending) <= len(group)
-                or len(self._pending) >= self.slots_per_page
-                or self.buffer.occupied_bytes >= self.buffer.capacity_bytes // 2
-            ):
-                # Wake flushers on the empty->non-empty transition, for
-                # page-sized batches, and under buffer pressure; stragglers
-                # flush on an already-awake flusher's linger timer.
-                self._dirty.notify_all()
-        self.counters.host_writes += 1
-        self.counters.host_write_bytes += nbytes
+            self.core.kick_flush(
+                len(self._pending) * self.map_unit,
+                went_nonempty=len(self._pending) <= len(group),
+            )
+        self.stats.host_writes += 1
+        self.stats.host_write_bytes += nbytes
 
     # ------------------------------------------------------------------
     # host read path
@@ -273,8 +262,8 @@ class BlockSSD:
                 for (block, page), length in page_reads.items()
             ]
             yield self.env.all_of(procs)
-        self.counters.host_reads += 1
-        self.counters.host_read_bytes += nbytes
+        self.stats.host_reads += 1
+        self.stats.host_read_bytes += nbytes
 
     # ------------------------------------------------------------------
     # deallocate (TRIM)
@@ -301,156 +290,85 @@ class BlockSSD:
                 self.array.invalidate(block, self.map_unit)
 
     # ------------------------------------------------------------------
-    # flush machinery
+    # FtlCore personality hooks: write pipeline
     # ------------------------------------------------------------------
 
-    def _take_batch(self) -> Optional[List[_PendingUnit]]:
+    def live_bytes(self) -> int:
+        return self.pagemap.mapped_units * self.map_unit
+
+    def peek_flush(self) -> Optional[Tuple[int, float]]:
         if not self._pending:
             return None
         oldest = next(iter(self._pending.values()))
-        buffer_pressure = (
-            self.buffer.occupied_bytes >= self.buffer.capacity_bytes // 2
-        )
-        aged = self.env.now - oldest.arrival_us >= self.config.flush_linger_us
-        if len(self._pending) < self.slots_per_page and not (aged or buffer_pressure):
-            return None
+        return len(self._pending) * self.map_unit, oldest.arrival_us
+
+    def pop_flush_batch(self) -> Optional[FlushBatch]:
         batch: List[_PendingUnit] = []
         while self._pending and len(batch) < self.slots_per_page:
             _unit, entry = self._pending.popitem(last=False)
             batch.append(entry)
-        return batch
+        if not batch:
+            return None
+        nbytes = len(batch) * self.map_unit
+        transfer = (
+            self.array.geometry.page_bytes
+            if len(batch) == self.slots_per_page
+            else nbytes
+        )
+        return FlushBatch(items=batch, payload_bytes=nbytes, transfer_bytes=transfer)
 
-    def _flush_worker(self) -> Generator[Event, None, None]:
-        while not self._shutdown:
-            batch = self._take_batch()
-            if batch is None:
-                if self._pending:
-                    yield self.env.any_of(
-                        [
-                            self._dirty.wait(),
-                            self.env.timeout(self.config.flush_linger_us),
-                        ]
-                    )
-                else:
-                    # Pure signal wait while idle (see the KV packer note).
-                    yield self._dirty.wait()
+    def commit_flush(self, batch: FlushBatch, block: int, page: int) -> None:
+        for slot, entry in enumerate(batch.items):
+            if self._latest_sequence.get(entry.unit) != entry.sequence:
+                # Superseded while in flight: programmed copy is dead.
+                self.array.invalidate(block, self.map_unit)
                 continue
-            yield from self._block_allowance(for_gc=False)
-            block = self.user_stream.next_slot()
-            if len(self.pool) < self._gc_threshold_blocks:
-                self._gc_wakeup.notify_all()
-            nbytes = len(batch) * self.map_unit
-            transfer = (
-                self.array.geometry.page_bytes
-                if len(batch) == self.slots_per_page
-                else nbytes
-            )
-            page = yield from self.array.program(block, transfer, nbytes)
-            for slot, entry in enumerate(batch):
-                if self._latest_sequence.get(entry.unit) != entry.sequence:
-                    # Superseded while in flight: programmed copy is dead.
-                    self.array.invalidate(block, self.map_unit)
-                    continue
-                slot_id = self.pagemap.lookup(entry.unit)
-                if slot_id != UNMAPPED:
-                    old_block, _p, _s = self.pagemap.unflatten(slot_id)
-                    self.pagemap.unbind(entry.unit)
-                    self.array.invalidate(old_block, self.map_unit)
-                self.pagemap.bind(entry.unit, block, page, slot)
-                del self._latest_sequence[entry.unit]
-            self.buffer.drain(nbytes)
+            slot_id = self.pagemap.lookup(entry.unit)
+            if slot_id != UNMAPPED:
+                old_block, _p, _s = self.pagemap.unflatten(slot_id)
+                self.pagemap.unbind(entry.unit)
+                self.array.invalidate(old_block, self.map_unit)
+            self.pagemap.bind(entry.unit, block, page, slot)
+            del self._latest_sequence[entry.unit]
 
     def drain(self) -> Generator[Event, None, None]:
         """Wait until all buffered writes have reached flash."""
-        while self._pending or self.buffer.occupied_bytes:
-            yield self.env.timeout(self.config.flush_linger_us)
+        yield from self.core.drain()
 
     # ------------------------------------------------------------------
-    # garbage collection
+    # FtlCore personality hooks: garbage collection
     # ------------------------------------------------------------------
 
-    def _block_allowance(self, for_gc: bool) -> Generator[Event, None, None]:
-        """Wait until the free pool can serve this allocation class."""
-        floor = 0 if for_gc else self.config.gc_reserve_blocks
-        while len(self.pool) <= floor:
-            self._gc_wakeup.notify_all()
-            yield self._space.wait()
+    def gc_eligible(self, block_index: int) -> bool:
+        return True
 
-    def _gc_worker(self) -> Generator[Event, None, None]:
-        while not self._shutdown:
-            if len(self.pool) < self._gc_threshold_blocks:
-                yield from self._collect_once()
-            else:
-                yield self.env.any_of(
-                    [self._gc_wakeup.wait(), self.env.timeout(2000.0)]
-                )
-
-    def _collect_once(self) -> Generator[Event, None, None]:
-        victim = select_victim(self.array)
-        if victim is None:
-            yield self.env.timeout(200.0)
-            return
-        critical = len(self.pool) <= self.config.gc_reserve_blocks
-        valid_units = self.array.blocks[victim].valid_bytes // self.map_unit
-        pages_needed = -(-valid_units // self.slots_per_page)
-        benefit = self.array.geometry.pages_per_block - pages_needed
-        if benefit < (1 if critical else 2):
-            # Relocating a nearly-full block gains nothing; wait for
-            # invalidations instead of churning.
-            yield self.env.timeout(2000.0)
-            return
-        foreground = self._space.waiting > 0 or critical
-        self.counters.gc_runs += 1
-        if foreground:
-            self.counters.foreground_gc_runs += 1
-        self.counters.gc_events.append((self.env.now, foreground))
-
-        live = self.pagemap.live_units_in_block(victim)
-        if live:
-            pages = sorted({page for _unit, page, _slot in live})
-            read_procs = [
-                self.env.process(
-                    self.array.read(victim, page, self.array.geometry.page_bytes)
-                )
-                for page in pages
-            ]
-            yield self.env.all_of(read_procs)
-        relocated = 0
-        original_slots = {
-            unit: self.pagemap.slot_id(victim, page, slot)
-            for unit, page, slot in live
-        }
-        position = 0
-        while position < len(live):
-            group = live[position:position + self.slots_per_page]
-            position += len(group)
-            yield from self._block_allowance(for_gc=True)
-            target = self.gc_stream.next_slot()
-            nbytes = len(group) * self.map_unit
-            page = yield from self.array.program(
-                target, self.array.geometry.page_bytes, nbytes
+    def gc_census(self, victim: int) -> List[GcItem]:
+        # ``slot_id`` here is pure arithmetic on the physical location, so
+        # the expected mapping captured in ``ident`` is time-invariant —
+        # a unit overwritten or trimmed mid-GC simply stops matching.
+        return [
+            GcItem(
+                (unit, self.pagemap.slot_id(victim, page, slot)),
+                page,
+                self.map_unit,
             )
-            for slot, (unit, _old_page, _old_slot) in enumerate(group):
-                if self.pagemap.lookup(unit) != original_slots[unit]:
-                    # Overwritten or trimmed while GC was in flight.
-                    self.array.invalidate(target, self.map_unit)
-                    continue
-                self.pagemap.unbind(unit)
-                self.array.invalidate(victim, self.map_unit)
-                self.pagemap.bind(unit, target, page, slot)
-                relocated += self.map_unit
-        if self.array.blocks[victim].valid_bytes != 0:
-            # Concurrent invalidations should have zeroed it; any residue
-            # means unmatched accounting, which we surface loudly.
-            raise ConfigurationError(
-                f"victim {victim} kept {self.array.blocks[victim].valid_bytes}B "
-                "valid after relocation"
-            )
-        yield from self.array.erase(victim)
-        self.pool.push(victim)
-        self.counters.gc_relocated_bytes += relocated
-        self.counters.gc_erased_blocks += 1
-        self._space.notify_all()
+            for unit, page, slot in self.pagemap.live_units_in_block(victim)
+        ]
+
+    def gc_relocate(
+        self, item: GcItem, victim: int, target: int, new_page: int, slot: int
+    ) -> bool:
+        unit, expected_slot_id = item.ident
+        if self.pagemap.lookup(unit) != expected_slot_id:
+            # Overwritten or trimmed while GC was in flight.
+            return False
+        self.pagemap.unbind(unit)
+        self.pagemap.bind(unit, target, new_page, slot)
+        return True
+
+    def gc_cleanup(self, victim: int) -> None:
+        # The page map carries all block-personality state; nothing to do.
+        pass
 
     # ------------------------------------------------------------------
     # experiment priming
@@ -472,7 +390,7 @@ class BlockSSD:
         remaining = n_units
         while remaining > 0:
             count = min(self.slots_per_page, remaining)
-            block = self.user_stream.next_slot()
+            block = self.core.write_stream.next_slot()
             page = self.array.prime_program(block, count * self.map_unit)
             for slot in range(count):
                 target = unit + slot
@@ -492,12 +410,12 @@ class BlockSSD:
     @property
     def occupied_bytes(self) -> int:
         """Device bytes currently holding live host data."""
-        return self.pagemap.mapped_units * self.map_unit
+        return self.core.occupied_bytes
 
     def occupancy_fraction(self) -> float:
         """Live data as a fraction of user capacity."""
-        return self.occupied_bytes / self.user_capacity_bytes
+        return self.core.occupancy_fraction()
 
     def free_block_count(self) -> int:
         """Erased blocks available for allocation."""
-        return len(self.pool)
+        return self.core.free_block_count()

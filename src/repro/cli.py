@@ -89,8 +89,11 @@ def _print_fig5(args: argparse.Namespace) -> None:
 def _print_fig6(args: argparse.Namespace) -> None:
     result = fig6_foreground_gc()
     for scenario, series in result.series.items():
+        summary = result.stats_summary[scenario]
         print(f"{scenario:<16} trough {result.trough_ratio(scenario):5.2f}  "
               f"fgGC {result.foreground_gc_runs.get(scenario, 0):4d}  "
+              f"WAF {summary['waf']:5.2f}  "
+              f"stall {summary['stall_ms']:8.1f}ms  "
               f"{sparkline(series[:48])}")
 
 

@@ -23,6 +23,7 @@ from repro.core.experiment import (
     build_lsm_rig,
     lab_geometry,
 )
+from repro.core.model import device_stats_summary
 from repro.errors import ConfigurationError
 from repro.kvbench.runner import RunResult, execute_workload
 from repro.kvbench.workload import (
@@ -522,6 +523,9 @@ class Fig6Result:
     #: kv-window, rocksdb-uniform.
     series: Dict[str, List[float]] = field(default_factory=dict)
     foreground_gc_runs: Dict[str, int] = field(default_factory=dict)
+    #: stats_summary[scenario] -> device_stats_summary() of the measured
+    #: phase (waf, gc_moved_mib, foreground_gc_fraction, stall_ms).
+    stats_summary: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def trough_ratio(self, scenario: str) -> float:
         """Worst window over the first window (1.0 = no collapse)."""
@@ -590,7 +594,6 @@ def fig6_foreground_gc(
                 value_bytes=value_bytes,
                 seed=47,
             )
-            counters_before = rig.device.counters.snapshot()
             run = execute_workload(
                 rig.env,
                 rig.adapter,
@@ -600,8 +603,6 @@ def fig6_foreground_gc(
                 name=f"fig6.{scenario}",
                 stop_after_us=45e6,
             )
-            delta = rig.device.counters.delta(counters_before)
-            result.foreground_gc_runs[scenario] = delta.foreground_gc_runs
         elif scenario == "rocksdb-uniform":
             rig = build_lsm_rig(geometry)
             # The scenario's purpose is the *device-level* contrast (no
@@ -629,7 +630,6 @@ def fig6_foreground_gc(
                 value_bytes=value_bytes,
                 seed=47,
             )
-            counters_before = rig.device.counters.snapshot()
             run = execute_workload(
                 rig.env,
                 rig.adapter,
@@ -639,10 +639,13 @@ def fig6_foreground_gc(
                 name=f"fig6.{scenario}",
                 stop_after_us=45e6,
             )
-            delta = rig.device.counters.delta(counters_before)
-            result.foreground_gc_runs[scenario] = delta.foreground_gc_runs
         else:
             raise ConfigurationError(f"unknown fig6 scenario {scenario!r}")
+        # The runner captured the DeviceStats delta for the measured phase;
+        # both personalities report through the same struct, so the two
+        # scenario branches need no per-device counter reads.
+        result.foreground_gc_runs[scenario] = run.device_stats.foreground_gc_runs
+        result.stats_summary[scenario] = device_stats_summary(run.device_stats)
         result.series[scenario] = run.bandwidth.series_mib_per_sec()
     return result
 
@@ -682,7 +685,7 @@ def fig7_space_amplification(
         kv_rig = build_kv_rig(lab_geometry(blocks_per_plane))
         count = min(kvps, kv_rig.device.max_kvps - 1)
         kv_rig.device.fast_fill(count, size, KeyScheme(prefix=b"fill", digits=12))
-        result.sa["kvssd"][size] = kv_rig.device.space.amplification()
+        result.sa["kvssd"][size] = kv_rig.device.stats.space_amplification()
         result.kv_analytic[size] = space_amplification(
             PAPER_SCHEME.key_bytes,
             size,

@@ -91,11 +91,14 @@ class FlashArray:
         env: Environment,
         geometry: Geometry,
         timing: FlashTiming,
+        stats: object = None,
     ) -> None:
         self.env = env
         self.geometry = geometry
         self.timing = timing
         self.counters = FlashCounters()
+        #: Optional device-level DeviceStats sink mirroring timed flash ops.
+        self._stats = stats
         self._dies: List[Resource] = [
             Resource(env, capacity=1, name=f"die{i}")
             for i in range(geometry.total_dies)
@@ -212,6 +215,8 @@ class FlashArray:
         )
         self.counters.page_reads += 1
         self.counters.bytes_read += nbytes
+        if self._stats is not None:
+            self._stats.flash_reads += 1
 
     def program(
         self, block_index: int, nbytes: int, valid_bytes: int
@@ -230,6 +235,8 @@ class FlashArray:
         page_index = self._commit_program(block_index, valid_bytes)
         self.counters.page_programs += 1
         self.counters.bytes_programmed += nbytes
+        if self._stats is not None:
+            self._stats.flash_programs += 1
         return page_index
 
     def erase(self, block_index: int) -> Generator[Event, None, None]:
@@ -245,6 +252,8 @@ class FlashArray:
         info.next_page = 0
         info.erase_count += 1
         self.counters.block_erases += 1
+        if self._stats is not None:
+            self._stats.flash_erases += 1
 
     # -- aggregate views -----------------------------------------------------
 

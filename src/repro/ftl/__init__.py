@@ -1,5 +1,6 @@
-"""Shared FTL substrate: block pooling, allocation streams, GC victims, buffers."""
+"""Shared FTL substrate: device core, pooling, streams, GC victims, buffers."""
 
+from repro.ftl.core import DeviceStats, FlushBatch, FtlCore, GcItem
 from repro.ftl.pool import AllocationStream, FreeBlockPool
 from repro.ftl.victim import (
     VictimSelector,
@@ -11,7 +12,11 @@ from repro.ftl.writebuffer import WriteBuffer
 
 __all__ = [
     "AllocationStream",
+    "DeviceStats",
+    "FlushBatch",
     "FreeBlockPool",
+    "FtlCore",
+    "GcItem",
     "VictimSelector",
     "WriteBuffer",
     "cost_benefit_victim",

@@ -1,0 +1,453 @@
+"""The shared FTL device core: GC engine, write pipeline, telemetry.
+
+The paper's methodology is to run two firmware personalities — KV and
+block — on *identical* hardware so every observed difference is
+attributable to FTL policy, not substrate.  :class:`FtlCore` is the code
+form of that guarantee: a single implementation of everything both
+personalities must share —
+
+* the **garbage-collection engine** — victim selection through the
+  :mod:`repro.ftl.victim` policies, the over-provisioning watermark that
+  triggers background collection, and the ``block_allowance``
+  foreground/background arbitration that produces the paper's Fig. 6
+  stall troughs;
+* the **write pipeline** — flush workers that batch buffered payloads
+  into page programs, linger-timer aging for partial batches, and the
+  ``drain()`` barrier experiments use between setup and measurement;
+* **telemetry** — a unified :class:`DeviceStats` struct that both
+  devices report through, so figures and benchmarks never read
+  personality-specific attributes.
+
+A personality plugs in only what genuinely differs (blob packing and a
+hash index for KV; LBA mapping and sector batching for block) by
+implementing a small duck-typed hook protocol:
+
+``live_bytes() -> int``
+    Bytes of live host data (occupancy accounting).
+``peek_flush() -> Optional[Tuple[int, float]]``
+    ``(pending_bytes, oldest_arrival_us)`` of queued payloads, or
+    ``None`` when nothing awaits flushing.
+``pop_flush_batch() -> Optional[FlushBatch]``
+    Remove up to one page worth of queued payloads, in arrival order.
+``commit_flush(batch, block, page) -> None``
+    Bind a programmed batch into the personality's mapping; payloads
+    superseded while in flight must be invalidated against ``block``.
+``gc_eligible(block_index) -> bool``
+    Whether GC may collect the block (KV fences its index region).
+``gc_census(victim) -> List[GcItem]``
+    Live payloads residing in the victim at collection start.
+``gc_relocate(item, victim, target, new_page, slot) -> bool``
+    Rebind one payload to its relocated copy; return ``False`` if the
+    payload died between census and program (the core then accounts the
+    relocated copy dead instead).
+``gc_cleanup(victim) -> None``
+    Personality bookkeeping after relocation, before the erase.
+
+Adding a third personality (ZNS, host-managed FTL, ...) means
+implementing these eight hooks — not forking the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.flash.nand import BlockState, FlashArray
+from repro.ftl.pool import AllocationStream, FreeBlockPool
+from repro.ftl.victim import select_victim
+from repro.ftl.writebuffer import WriteBuffer
+from repro.metrics.counters import DeviceCounters
+from repro.sim.engine import Environment, Event
+from repro.sim.signal import Signal
+from repro.units import ceil_div
+
+#: GC policies the core can dispatch to (mirrors ``ftl.victim``).
+VICTIM_POLICIES = ("greedy", "cost_benefit")
+
+
+@dataclass
+class DeviceStats(DeviceCounters):
+    """Unified device telemetry: counters + space books + stall time.
+
+    Extends the S.M.A.R.T.-style :class:`DeviceCounters` with the three
+    quantities the figures and benches previously read through
+    personality-specific attributes:
+
+    * flash-operation totals (timed reads/programs/erases, fed by the
+      :class:`~repro.flash.nand.FlashArray` sink);
+    * space accounting compatible with
+      :class:`~repro.metrics.space.SpaceAccountant` (Fig. 7's SAF);
+    * stall time — write-buffer admission waits plus free-block
+      allowance waits (the Fig. 6 foreground-GC mechanism).
+
+    ``snapshot``/``delta`` are inherited generically, so experiment
+    before/after deltas cover every field here too.
+    """
+
+    # -- space accounting (SpaceAccountant-compatible) -------------------
+    app_key_bytes: int = 0
+    app_value_bytes: int = 0
+    device_bytes: int = 0
+    # -- timed flash operations ------------------------------------------
+    flash_reads: int = 0
+    flash_programs: int = 0
+    flash_erases: int = 0
+    # -- stall telemetry --------------------------------------------------
+    #: Time host writers spent blocked on buffer admission.
+    buffer_stall_us: float = 0.0
+    #: Flush/GC waits on the free-block floor (count and total time).
+    allowance_stalls: int = 0
+    allowance_stall_us: float = 0.0
+    #: Victim block index per GC run, aligned with ``gc_events``.
+    gc_victims: List[int] = field(default_factory=list)
+
+    def record_store(
+        self, key_bytes: int, value_bytes: int, device_bytes: int
+    ) -> None:
+        """Account one stored object: application sizes vs device footprint."""
+        if min(key_bytes, value_bytes, device_bytes) < 0:
+            raise ValueError("space accounting sizes must be >= 0")
+        self.app_key_bytes += key_bytes
+        self.app_value_bytes += value_bytes
+        self.device_bytes += device_bytes
+
+    def record_remove(
+        self, key_bytes: int, value_bytes: int, device_bytes: int
+    ) -> None:
+        """Account removal (overwrite/delete) of a stored object."""
+        self.app_key_bytes -= key_bytes
+        self.app_value_bytes -= value_bytes
+        self.device_bytes -= device_bytes
+        if min(self.app_key_bytes, self.app_value_bytes, self.device_bytes) < 0:
+            raise ValueError("space accounting went negative; unmatched remove")
+
+    @property
+    def app_bytes(self) -> int:
+        """Application bytes: keys plus values."""
+        return self.app_key_bytes + self.app_value_bytes
+
+    def amplification(self) -> float:
+        """Device bytes / application bytes (key+value denominator)."""
+        if self.app_bytes == 0:
+            raise ValueError("no application bytes recorded")
+        return self.device_bytes / self.app_bytes
+
+    def amplification_value_only(self) -> float:
+        """Device bytes / value bytes (the paper's most pessimistic view)."""
+        if self.app_value_bytes == 0:
+            raise ValueError("no application value bytes recorded")
+        return self.device_bytes / self.app_value_bytes
+
+    # Canonical SAF name used by figures; ``amplification`` kept for the
+    # SpaceAccountant-era call sites.
+    space_amplification = amplification
+
+    def stall_time_us(self) -> float:
+        """Total host-visible stall time (buffer + allowance waits)."""
+        return self.buffer_stall_us + self.allowance_stall_us
+
+
+@dataclass(frozen=True)
+class GcItem:
+    """One live payload found in a GC victim during census.
+
+    ``ident`` is opaque to the core — the personality round-trips it back
+    through ``gc_relocate`` to find and rebind its own mapping entry.
+    """
+
+    ident: object
+    page: int
+    nbytes: int
+
+
+@dataclass
+class FlushBatch:
+    """One page worth of payloads popped from a personality's queue."""
+
+    items: List[object]
+    #: Live payload bytes (GC valid-byte accounting for the program).
+    payload_bytes: int
+    #: Bytes crossing the channel (full page, or less for partial pages).
+    transfer_bytes: int
+
+
+class FtlCore:
+    """Shared device substrate both firmware personalities compose.
+
+    Owns the free-block pool, allocation streams, write buffer, flush
+    workers, the GC worker, and the :class:`DeviceStats` sink.  The
+    hosting personality is consulted only through the hook protocol
+    documented in the module docstring.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        array: FlashArray,
+        personality: object,
+        *,
+        stream_width: int,
+        write_buffer_bytes: int,
+        flush_linger_us: float,
+        gc_threshold_fraction: float,
+        gc_reserve_blocks: int,
+        page_payload_bytes: int,
+        user_capacity_bytes: int,
+        gc_victim_policy: str = "greedy",
+        stats: Optional[DeviceStats] = None,
+        name: str = "ftl",
+    ) -> None:
+        if gc_victim_policy not in VICTIM_POLICIES:
+            raise ConfigurationError(
+                f"unknown GC victim policy {gc_victim_policy!r}; "
+                f"expected one of {VICTIM_POLICIES}"
+            )
+        if page_payload_bytes < 1:
+            raise ConfigurationError("page payload must be >= 1 byte")
+        self.env = env
+        self.array = array
+        self.personality = personality
+        self.name = name
+        self.stats = stats if stats is not None else DeviceStats()
+        self.flush_linger_us = flush_linger_us
+        self.gc_reserve_blocks = gc_reserve_blocks
+        self.gc_victim_policy = gc_victim_policy
+        #: Usable payload bytes per programmed page (below ``page_bytes``
+        #: for the KV personality, which reserves per-page recovery area).
+        self.page_payload_bytes = page_payload_bytes
+        self.user_capacity_bytes = user_capacity_bytes
+
+        # The pool collects only FREE blocks, so a personality that fences
+        # off regions (the KV index area) marks them CLOSED before
+        # constructing the core.
+        self.pool = FreeBlockPool(array)
+        self.buffer = WriteBuffer(
+            env, write_buffer_bytes, name=f"{name}.buffer", stats=self.stats
+        )
+        self.write_stream = AllocationStream(
+            array, self.pool, stream_width, name=f"{name}.data"
+        )
+        # The GC stream stays narrow: each open block it rotates across is
+        # a block taken from the reserve GC itself depends on, and a wide
+        # frontier can swallow the whole reserve and deadlock reclamation.
+        self.gc_stream = AllocationStream(array, self.pool, 2, name=f"{name}.gc")
+
+        self._dirty = Signal(env, f"{name}.dirty")
+        self._space = Signal(env, f"{name}.space")
+        self._gc_wakeup = Signal(env, f"{name}.gcwake")
+        self.gc_threshold_blocks = max(
+            gc_reserve_blocks + 2,
+            int(array.geometry.total_blocks * gc_threshold_fraction),
+        )
+        for worker in range(stream_width):
+            env.process(self._flush_worker(), name=f"{name}.flush{worker}")
+        env.process(self._gc_worker(), name=f"{name}.gc")
+
+    # ------------------------------------------------------------------
+    # occupancy
+    # ------------------------------------------------------------------
+
+    @property
+    def occupied_bytes(self) -> int:
+        """Device bytes currently holding live host data."""
+        return self.personality.live_bytes()
+
+    def occupancy_fraction(self) -> float:
+        """Live data as a fraction of user capacity."""
+        return self.occupied_bytes / self.user_capacity_bytes
+
+    def free_block_count(self) -> int:
+        """Erased blocks available for allocation."""
+        return len(self.pool)
+
+    # ------------------------------------------------------------------
+    # write pipeline
+    # ------------------------------------------------------------------
+
+    def kick_flush(self, pending_bytes: int, went_nonempty: bool) -> None:
+        """Wake flush workers when the queue state warrants it.
+
+        Workers wake on the empty->non-empty transition, when a full page
+        of payload exists, and under buffer pressure; anything between
+        rides the linger timer of an already-awake worker.
+        """
+        if (
+            went_nonempty
+            or pending_bytes >= self.page_payload_bytes
+            or self.buffer.occupied_bytes >= self.buffer.capacity_bytes // 2
+        ):
+            self._dirty.notify_all()
+
+    def _take_batch(self) -> Optional[FlushBatch]:
+        peeked = self.personality.peek_flush()
+        if peeked is None:
+            return None
+        pending_bytes, oldest_arrival_us = peeked
+        buffer_pressure = (
+            self.buffer.occupied_bytes >= self.buffer.capacity_bytes // 2
+        )
+        aged = self.env.now - oldest_arrival_us >= self.flush_linger_us
+        if pending_bytes < self.page_payload_bytes and not (aged or buffer_pressure):
+            return None
+        return self.personality.pop_flush_batch()
+
+    def _flush_worker(self) -> Generator[Event, None, None]:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                if self.personality.peek_flush() is not None:
+                    # Partial batch aging: poll on the linger timer.
+                    yield self.env.any_of(
+                        [
+                            self._dirty.wait(),
+                            self.env.timeout(self.flush_linger_us),
+                        ]
+                    )
+                else:
+                    # Nothing queued: sleep until a write enqueues work.
+                    # (Pure signal wait — idle pollers would otherwise
+                    # dominate the event stream whenever the device crawls
+                    # through a GC stall.)
+                    yield self._dirty.wait()
+                continue
+            yield from self.block_allowance(for_gc=False)
+            block = self.write_stream.next_slot()
+            if len(self.pool) < self.gc_threshold_blocks:
+                self._gc_wakeup.notify_all()
+            page = yield from self.array.program(
+                block, batch.transfer_bytes, batch.payload_bytes
+            )
+            self.personality.commit_flush(batch, block, page)
+            self.buffer.drain(batch.payload_bytes)
+
+    def drain(self) -> Generator[Event, None, None]:
+        """Wait until all accepted writes reach flash."""
+        while self.personality.peek_flush() is not None or self.buffer.occupied_bytes:
+            yield self.env.timeout(self.flush_linger_us)
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+
+    def block_allowance(self, for_gc: bool) -> Generator[Event, None, None]:
+        """Wait until the free pool can serve this allocation class.
+
+        Host flushes wait above the GC reserve; GC's own allocations may
+        dig into it down to the last block.  A waiting flush is exactly
+        what makes the next collection *foreground*.
+        """
+        floor = 0 if for_gc else self.gc_reserve_blocks
+        started: Optional[float] = None
+        while len(self.pool) <= floor:
+            if started is None:
+                started = self.env.now
+                self.stats.allowance_stalls += 1
+            self._gc_wakeup.notify_all()
+            yield self._space.wait()
+        if started is not None:
+            self.stats.allowance_stall_us += self.env.now - started
+
+    def gc_page_benefit(self, block_index: int) -> int:
+        """Pages freed net of pages consumed by relocating ``block_index``."""
+        valid = self.array.blocks[block_index].valid_bytes
+        pages_needed = ceil_div(valid, self.page_payload_bytes) if valid else 0
+        return self.array.geometry.pages_per_block - pages_needed
+
+    def has_reclaimable_victim(self) -> bool:
+        """Whether any eligible closed block would yield net pages to GC."""
+        eligible = self.personality.gc_eligible
+        for block_index, info in enumerate(self.array.blocks):
+            if info.state is not BlockState.CLOSED:
+                continue
+            if not eligible(block_index):
+                continue
+            if self.gc_page_benefit(block_index) >= 1:
+                return True
+        return False
+
+    def select_victim(self) -> Optional[int]:
+        """Pick the next GC victim under the configured policy."""
+        return select_victim(
+            self.array, self.gc_victim_policy, eligible=self.personality.gc_eligible
+        )
+
+    def _gc_worker(self) -> Generator[Event, None, None]:
+        while True:
+            if len(self.pool) < self.gc_threshold_blocks:
+                yield from self._collect_once()
+            else:
+                yield self.env.any_of(
+                    [self._gc_wakeup.wait(), self.env.timeout(2000.0)]
+                )
+
+    def _collect_once(self) -> Generator[Event, None, None]:
+        victim = self.select_victim()
+        if victim is None:
+            yield self.env.timeout(200.0)
+            return
+        critical = len(self.pool) <= self.gc_reserve_blocks
+        if self.gc_page_benefit(victim) < (1 if critical else 2):
+            # Relocating this victim would consume as many pages as it
+            # frees; wait for invalidations instead of churning.
+            yield self.env.timeout(2000.0)
+            return
+        foreground = self._space.waiting > 0 or critical
+        self.stats.gc_runs += 1
+        if foreground:
+            self.stats.foreground_gc_runs += 1
+        self.stats.gc_events.append((self.env.now, foreground))
+        self.stats.gc_victims.append(victim)
+
+        live = self.personality.gc_census(victim)
+        pages = sorted({item.page for item in live})
+        if pages:
+            read_procs = [
+                self.env.process(
+                    self.array.read(victim, page, self.array.geometry.page_bytes)
+                )
+                for page in pages
+            ]
+            yield self.env.all_of(read_procs)
+
+        relocated_bytes = 0
+        position = 0
+        while position < len(live):
+            # First-fit in census order into one page's payload area; for
+            # uniform payloads (block personality) this degenerates to
+            # fixed slots-per-page groups.
+            group: List[GcItem] = []
+            room = self.page_payload_bytes
+            while position < len(live) and live[position].nbytes <= room:
+                group.append(live[position])
+                room -= live[position].nbytes
+                position += 1
+            if not group:  # pragma: no cover - payloads never exceed a page
+                raise ConfigurationError("unpackable GC payload")
+            yield from self.block_allowance(for_gc=True)
+            target = self.gc_stream.next_slot()
+            nbytes = sum(item.nbytes for item in group)
+            new_page = yield from self.array.program(
+                target, self.array.geometry.page_bytes, nbytes
+            )
+            for slot, item in enumerate(group):
+                if self.personality.gc_relocate(item, victim, target, new_page, slot):
+                    self.array.invalidate(victim, item.nbytes)
+                    relocated_bytes += item.nbytes
+                else:
+                    # Invalidated between census and program: the fresh
+                    # copy is dead on arrival.
+                    self.array.invalidate(target, item.nbytes)
+        self.personality.gc_cleanup(victim)
+        if self.array.blocks[victim].valid_bytes != 0:
+            # Concurrent invalidations should have zeroed it; any residue
+            # means unmatched accounting, which we surface loudly.
+            raise ConfigurationError(
+                f"victim {victim} kept {self.array.blocks[victim].valid_bytes}B "
+                "valid after relocation"
+            )
+        yield from self.array.erase(victim)
+        self.pool.push(victim)
+        self.stats.gc_relocated_bytes += relocated_bytes
+        self.stats.gc_erased_blocks += 1
+        self._space.notify_all()

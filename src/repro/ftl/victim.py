@@ -7,6 +7,10 @@ policies are provided:
   and what most firmware ships.
 * :func:`cost_benefit_victim` — the classic (1-u)/(1+u) * age score, which
   outperforms greedy under skew; exposed for the ablation benches.
+
+Each selector accepts an optional ``eligible`` predicate so a personality
+can fence off blocks GC must never touch (the KV device's on-flash index
+region) without forking the policy code.
 """
 
 from __future__ import annotations
@@ -18,13 +22,20 @@ from repro.flash.nand import BlockState, FlashArray
 #: Signature shared by all victim selectors.
 VictimSelector = Callable[[FlashArray], Optional[int]]
 
+#: Predicate deciding whether a block index may be collected at all.
+EligiblePredicate = Callable[[int], bool]
 
-def greedy_victim(array: FlashArray) -> Optional[int]:
+
+def greedy_victim(
+    array: FlashArray, eligible: Optional[EligiblePredicate] = None
+) -> Optional[int]:
     """Closed block with the fewest valid bytes, or None if none closed."""
     best_index: Optional[int] = None
     best_valid = None
     for block_index, info in enumerate(array.blocks):
         if info.state is not BlockState.CLOSED:
+            continue
+        if eligible is not None and not eligible(block_index):
             continue
         if best_valid is None or info.valid_bytes < best_valid:
             best_valid = info.valid_bytes
@@ -34,7 +45,9 @@ def greedy_victim(array: FlashArray) -> Optional[int]:
     return best_index
 
 
-def cost_benefit_victim(array: FlashArray) -> Optional[int]:
+def cost_benefit_victim(
+    array: FlashArray, eligible: Optional[EligiblePredicate] = None
+) -> Optional[int]:
     """Cost-benefit selection: maximize (1-u)/(1+u) weighted by coldness.
 
     Without per-block modification timestamps the age term uses the erase
@@ -48,6 +61,8 @@ def cost_benefit_victim(array: FlashArray) -> Optional[int]:
     for block_index, info in enumerate(array.blocks):
         if info.state is not BlockState.CLOSED:
             continue
+        if eligible is not None and not eligible(block_index):
+            continue
         utilization = info.valid_bytes / block_bytes
         coldness = 1.0 + (max_erase - info.erase_count) / max_erase
         score = ((1.0 - utilization) / (1.0 + utilization)) * coldness
@@ -57,10 +72,14 @@ def cost_benefit_victim(array: FlashArray) -> Optional[int]:
     return best_index
 
 
-def select_victim(array: FlashArray, policy: str = "greedy") -> Optional[int]:
+def select_victim(
+    array: FlashArray,
+    policy: str = "greedy",
+    eligible: Optional[EligiblePredicate] = None,
+) -> Optional[int]:
     """Dispatch by policy name (``'greedy'`` or ``'cost_benefit'``)."""
     if policy == "greedy":
-        return greedy_victim(array)
+        return greedy_victim(array, eligible)
     if policy == "cost_benefit":
-        return cost_benefit_victim(array)
+        return cost_benefit_victim(array, eligible)
     raise ValueError(f"unknown GC victim policy {policy!r}")

@@ -26,7 +26,13 @@ class WriteBuffer:
     has been programmed to flash.
     """
 
-    def __init__(self, env: Environment, capacity_bytes: int, name: str = "") -> None:
+    def __init__(
+        self,
+        env: Environment,
+        capacity_bytes: int,
+        name: str = "",
+        stats: object = None,
+    ) -> None:
         if capacity_bytes < 1:
             raise ConfigurationError(
                 f"write buffer capacity must be >= 1 byte, got {capacity_bytes}"
@@ -36,6 +42,8 @@ class WriteBuffer:
         self.name = name
         self._tokens = TokenBucket(env, capacity_bytes, name=f"{name}.tokens")
         self._stall_time_us = 0.0
+        #: Optional DeviceStats sink mirroring admission-stall time.
+        self._stats = stats
 
     @property
     def occupied_bytes(self) -> int:
@@ -60,7 +68,10 @@ class WriteBuffer:
             chunk = min(remaining, self.capacity_bytes)
             yield self._tokens.get(chunk)
             remaining -= chunk
-        self._stall_time_us += self.env.now - started
+        waited = self.env.now - started
+        self._stall_time_us += waited
+        if self._stats is not None:
+            self._stats.buffer_stall_us += waited
 
     def drain(self, nbytes: int) -> None:
         """Release ``nbytes`` of buffer space after flash programming."""

@@ -24,6 +24,7 @@ from typing import Generator, Iterable, Iterator, Optional
 from repro.api.block import BlockDeviceAPI
 from repro.api.kvs import KVStoreAPI
 from repro.errors import DeviceError, WorkloadError
+from repro.ftl.core import DeviceStats
 from repro.hostkv.hashkv.store import HashKVStore
 from repro.hostkv.lsm.store import LSMStore
 from repro.kvbench.workload import Operation, OpType
@@ -38,6 +39,8 @@ class KVSSDAdapter:
 
     def __init__(self, api: KVStoreAPI) -> None:
         self.api = api
+        #: Underlying device, for uniform DeviceStats capture.
+        self.device = api.device
 
     def execute(self, op: Operation) -> Generator[Event, None, int]:
         if op.op in (OpType.INSERT, OpType.UPDATE):
@@ -57,6 +60,8 @@ class LSMAdapter:
 
     def __init__(self, store: LSMStore) -> None:
         self.store = store
+        #: The block device under the file system, for DeviceStats capture.
+        self.device = store.fs.block_api.device
 
     def execute(self, op: Operation) -> Generator[Event, None, int]:
         if op.op in (OpType.INSERT, OpType.UPDATE):
@@ -76,6 +81,8 @@ class HashKVAdapter:
 
     def __init__(self, store: HashKVStore) -> None:
         self.store = store
+        #: The block device under the store, for DeviceStats capture.
+        self.device = store.block_api.device
 
     def execute(self, op: Operation) -> Generator[Event, None, int]:
         if op.op in (OpType.INSERT, OpType.UPDATE):
@@ -101,6 +108,8 @@ class BlockAdapter:
         if io_bytes < 1:
             raise WorkloadError(f"io size must be >= 1, got {io_bytes}")
         self.api = api
+        #: Underlying device, for uniform DeviceStats capture.
+        self.device = api.device
         self.io_bytes = align_up(io_bytes, api.device.config.sector_bytes)
         self.slots = api.device.user_capacity_bytes // self.io_bytes
         if self.slots < 1:
@@ -134,6 +143,9 @@ class RunResult:
     completed_ops: int = 0
     failed_ops: int = 0
     extras: dict = field(default_factory=dict)
+    #: Device telemetry delta over the measured phase — the same
+    #: DeviceStats struct regardless of which personality ran underneath.
+    device_stats: Optional[DeviceStats] = None
 
     @property
     def elapsed_us(self) -> float:
@@ -172,6 +184,8 @@ def drive_workload(
         started_us=env.now,
     )
     deadline = env.now + stop_after_us
+    device = getattr(adapter, "device", None)
+    stats_before = device.stats.snapshot() if device is not None else None
     stream: Iterator[Operation] = iter(operations)
 
     def worker() -> Generator[Event, None, None]:
@@ -195,6 +209,8 @@ def drive_workload(
     yield env.all_of(workers)
     result.finished_us = env.now
     result.bandwidth.finish(env.now)
+    if stats_before is not None:
+        result.device_stats = device.stats.delta(stats_before)
     return result
 
 

@@ -64,6 +64,8 @@ class KVSSDConfig:
     write_buffer_bytes: int = 1 * MIB
     gc_threshold_fraction: float = 0.08
     gc_reserve_blocks: int = 4
+    #: GC victim scoring: ``greedy`` or ``cost_benefit`` (ablation knob).
+    gc_victim_policy: str = "greedy"
 
     # -- controller service times (microseconds) -----------------------------
     host_interface_us: float = 2.0
@@ -130,3 +132,8 @@ class KVSSDConfig:
             raise ConfigurationError("bloom FP rate must be within [0, 1]")
         if self.gc_reserve_blocks < 1:
             raise ConfigurationError("gc_reserve_blocks must be >= 1")
+        if self.gc_victim_policy not in ("greedy", "cost_benefit"):
+            raise ConfigurationError(
+                f"gc_victim_policy must be 'greedy' or 'cost_benefit', "
+                f"got {self.gc_victim_policy!r}"
+            )

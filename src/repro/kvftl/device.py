@@ -2,8 +2,8 @@
 
 :class:`KVSSD` implements the device the paper characterizes: a Samsung
 KV-SSD style NVMe drive that stores variable-length key-value pairs
-directly (Sec. II).  It composes, over the *same* flash array model as the
-block personality:
+directly (Sec. II).  It composes, over the *same*
+:class:`~repro.ftl.core.FtlCore` substrate as the block personality:
 
 * **key handling** — hashing, Bloom-filter membership checks, and
   index-manager scheduling;
@@ -14,9 +14,11 @@ block personality:
   padded to a 1 KiB minimum allocation, packed first-fit in arrival order
   into 32 KiB pages (no rearrangement), split with offset management when
   larger than a page's usable area;
-* **iterator buckets** keyed by the first 4 bytes of each key;
-* **garbage collection** with greedy victim selection and foreground
-  stalls when free space runs out.
+* **iterator buckets** keyed by the first 4 bytes of each key.
+
+The write pipeline, garbage collection, foreground-stall arbitration and
+telemetry all live in the shared core; this file implements only the
+personality hooks (what a blob is, where it lives, when it is dead).
 
 Every idiosyncrasy the paper reports is emergent here rather than scripted:
 sequential key order buys nothing (hashing), latency degrades with index
@@ -40,11 +42,10 @@ from repro.errors import (
 from repro.flash.geometry import Geometry
 from repro.flash.nand import BlockState, FlashArray
 from repro.flash.timing import FlashTiming
-from repro.ftl.pool import AllocationStream, FreeBlockPool
-from repro.ftl.writebuffer import WriteBuffer
+from repro.ftl.core import DeviceStats, FlushBatch, FtlCore, GcItem
+from repro.kvftl import priming
 from repro.kvftl.blob import (
     BlobLayout,
-    blobs_per_page,
     layout_blob,
     usable_page_bytes,
     validate_key,
@@ -54,12 +55,10 @@ from repro.kvftl.config import KVSSDConfig
 from repro.kvftl.hashindex import GlobalHashIndex
 from repro.kvftl.indexmanager import BloomModel, IndexManagerPool
 from repro.kvftl.iterator import IteratorBuckets
+from repro.kvftl.merge import MergeEngine
 from repro.kvftl.population import KeyScheme, PrimedPopulation
-from repro.metrics.counters import DeviceCounters
-from repro.metrics.space import SpaceAccountant
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
-from repro.sim.signal import Signal
 from repro.units import KIB, ceil_div
 
 
@@ -105,19 +104,22 @@ class KVSSD:
         self.name = name
         self.config = config or KVSSDConfig()
         self.timing = timing or FlashTiming()
-        self.array = FlashArray(env, geometry, self.timing)
-        self.counters = DeviceCounters()
-        self.space = SpaceAccountant()
+        self.stats = DeviceStats()
+        #: Legacy views kept for tooling: counters and space books both
+        #: live on the unified ``stats`` struct now.
+        self.counters = self.stats
+        self.space = self.stats
+        self.array = FlashArray(env, geometry, self.timing, stats=self.stats)
         self.usable_page = usable_page_bytes(geometry.page_bytes, self.config)
 
         # -- index region carved out of the array ------------------------
+        # Marked CLOSED and fully programmed *before* the core builds its
+        # free pool, so neither allocation nor GC ever touches it.
         region_count = max(
             1, int(geometry.total_blocks * self.config.index_region_fraction)
         )
-        self.pool = FreeBlockPool(self.array)
         self._index_region = list(range(region_count))
         for block in self._index_region:
-            self.pool.reserve(block)
             info = self.array.blocks[block]
             info.state = BlockState.CLOSED
             info.next_page = geometry.pages_per_block
@@ -156,18 +158,23 @@ class KVSSD:
         self.controller = Resource(
             env, self.config.controller_cores, name=f"{name}.ctl"
         )
-        self.buffer = WriteBuffer(
-            env, self.config.write_buffer_bytes, name=f"{name}.buffer"
+        self.core = FtlCore(
+            env,
+            self.array,
+            self,
+            stream_width=self.config.stream_width,
+            write_buffer_bytes=self.config.write_buffer_bytes,
+            flush_linger_us=self.config.flush_linger_us,
+            gc_threshold_fraction=self.config.gc_threshold_fraction,
+            gc_reserve_blocks=self.config.gc_reserve_blocks,
+            page_payload_bytes=self.usable_page,
+            user_capacity_bytes=self.user_capacity_bytes,
+            gc_victim_policy=self.config.gc_victim_policy,
+            stats=self.stats,
+            name=name,
         )
-        self.data_stream = AllocationStream(
-            self.array, self.pool, self.config.stream_width, name=f"{name}.data"
-        )
-        # The GC stream stays narrow: each open block it rotates across is
-        # a block taken from the reserve GC itself depends on, and a wide
-        # frontier can swallow the whole reserve and deadlock reclamation.
-        self.gc_stream = AllocationStream(
-            self.array, self.pool, 2, name=f"{name}.gc"
-        )
+        self.pool = self.core.pool
+        self.buffer = self.core.buffer
 
         self._records: Dict[bytes, _Record] = {}
         self._populations: List[PrimedPopulation] = []
@@ -176,22 +183,10 @@ class KVSSD:
         self._pack_pending_bytes = 0
         self._sequence = 0
         self.live_kvps = 0
-        self._iterator_flush_backlog = 0
-        self._local_index_capacity = 4 * self.config.merge_batch
 
-        self._dirty = Signal(env, f"{name}.dirty")
-        self._space_signal = Signal(env, f"{name}.space")
-        self._gc_wakeup = Signal(env, f"{name}.gcwake")
-        self._merge_wakeup = Signal(env, f"{name}.mergewake")
-        self._merge_done = Signal(env, f"{name}.mergedone")
-        self._gc_threshold_blocks = max(
-            self.config.gc_reserve_blocks + 2,
-            int(geometry.total_blocks * self.config.gc_threshold_fraction),
+        self.merge = MergeEngine(
+            env, self.array, self.timing, self.index, self.config, self.stats, name
         )
-        for worker in range(self.config.stream_width):
-            env.process(self._pack_worker(), name=f"{name}.pack{worker}")
-        env.process(self._gc_worker(), name=f"{name}.gc")
-        env.process(self._merge_worker(), name=f"{name}.merge")
 
     # ------------------------------------------------------------------
     # lookup helpers
@@ -242,7 +237,7 @@ class KVSSD:
                 self.config.split_fragment_us * (layout.data_fragments - 1)
             )
         yield from self.index_managers.serve(self.config.store_index_us)
-        yield from self._local_index_backpressure()
+        yield from self.merge.backpressure()
 
         if self._find_live(key) is None:
             if self.live_kvps >= self.max_kvps:
@@ -250,13 +245,13 @@ class KVSSD:
                     f"device at its {self.max_kvps}-KVP limit"
                 )
             if (
-                self.space.device_bytes + layout.footprint_bytes
+                self.stats.device_bytes + layout.footprint_bytes
                 > self.user_capacity_bytes
             ):
                 raise DeviceFullError("no space left for new pairs")
         if (
             len(self.pool) <= self.config.gc_reserve_blocks + 1
-            and not self._has_reclaimable_victim()
+            and not self.core.has_reclaimable_victim()
         ):
             raise DeviceFullError(
                 "free pool exhausted and garbage collection cannot reclaim "
@@ -276,9 +271,8 @@ class KVSSD:
             self.index.note_insert()
             self.live_kvps += 1
             if self.iterators.note_store(key):
-                self._iterator_flush_backlog += 1
-        if self.index.dirty_entries >= self.config.merge_batch:
-            self._merge_wakeup.notify_all()
+                self.merge.iterator_flush_backlog += 1
+        self.merge.kick_if_dirty()
 
         self._sequence += 1
         record = _Record(
@@ -289,7 +283,7 @@ class KVSSD:
             locations=[None] * len(layout.fragments),
         )
         self._records[key] = record
-        self.space.record_store(len(key), value_bytes, layout.footprint_bytes)
+        self.stats.record_store(len(key), value_bytes, layout.footprint_bytes)
         for frag_index, nbytes in enumerate(layout.fragments):
             yield from self.buffer.admit(nbytes)
             yield from self.controller.serve(
@@ -299,17 +293,11 @@ class KVSSD:
                 _QueuedFragment(key, frag_index, nbytes, record.sequence, self.env.now)
             )
             self._pack_pending_bytes += nbytes
-            if (
-                len(self._pack_queue) == 1
-                or self._pack_pending_bytes >= self.usable_page
-                or self.buffer.occupied_bytes >= self.buffer.capacity_bytes // 2
-            ):
-                # Wake packers on the empty->non-empty transition and when
-                # a full page (or buffer pressure) exists; anything between
-                # rides the linger timer of an already-awake packer.
-                self._dirty.notify_all()
-        self.counters.host_writes += 1
-        self.counters.host_write_bytes += len(key) + value_bytes
+            self.core.kick_flush(
+                self._pack_pending_bytes, went_nonempty=len(self._pack_queue) == 1
+            )
+        self.stats.host_writes += 1
+        self.stats.host_write_bytes += len(key) + value_bytes
 
     def retrieve(
         self, key: bytes, ncommands: int = 1
@@ -325,7 +313,7 @@ class KVSSD:
         if not self.bloom.maybe_present(key, found is not None):
             raise KeyNotFoundError(f"key {key!r} not stored (bloom negative)")
         for _ in range(self.index.lookup_flash_reads(key)):
-            yield from self._index_page_read()
+            yield from self.merge.index_page_read()
         if found is None:
             raise KeyNotFoundError(f"key {key!r} not stored")
 
@@ -351,8 +339,8 @@ class KVSSD:
             block, page = population.location_of(index)
             yield from self.array.read(block, page, population.footprint_bytes)
             value_bytes = population.value_bytes
-        self.counters.host_reads += 1
-        self.counters.host_read_bytes += value_bytes
+        self.stats.host_reads += 1
+        self.stats.host_read_bytes += value_bytes
         return value_bytes
 
     def exist(
@@ -366,7 +354,7 @@ class KVSSD:
         if not self.bloom.maybe_present(key, found):
             return False
         for _ in range(self.index.lookup_flash_reads(key)):
-            yield from self._index_page_read()
+            yield from self.merge.index_page_read()
         return found
 
     def delete(
@@ -380,16 +368,15 @@ class KVSSD:
         if not self.bloom.maybe_present(key, found is not None):
             raise KeyNotFoundError(f"key {key!r} not stored (bloom negative)")
         for _ in range(self.index.lookup_flash_reads(key)):
-            yield from self._index_page_read()
+            yield from self.merge.index_page_read()
         if found is None:
             raise KeyNotFoundError(f"key {key!r} not stored")
-        yield from self._local_index_backpressure()
+        yield from self.merge.backpressure()
         self._invalidate_live(key, found)
         self.index.note_delete()
         self.iterators.note_delete(key)
         self.live_kvps -= 1
-        if self.index.dirty_entries >= self.config.merge_batch:
-            self._merge_wakeup.notify_all()
+        self.merge.kick_if_dirty()
 
     def iterate(
         self, prefix4: bytes, limit: int = 1024, ncommands: int = 1
@@ -414,7 +401,7 @@ class KVSSD:
         # Bucket pages hold ~page/64B key entries each.
         keys_per_page = max(1, self.array.geometry.page_bytes // 64)
         for _ in range(ceil_div(max(count, 1), keys_per_page)):
-            yield from self._index_page_read()
+            yield from self.merge.index_page_read()
         matches: List[bytes] = [
             key for key in self._records if key[:4] == prefix4
         ]
@@ -442,7 +429,7 @@ class KVSSD:
             for frag_index, location in enumerate(record.locations):
                 if location is not None:
                     self.array.invalidate(location[0], record.fragments[frag_index])
-            self.space.record_remove(
+            self.stats.record_remove(
                 record.key_bytes, record.value_bytes, record.footprint_bytes
             )
             del self._records[key]
@@ -451,194 +438,80 @@ class KVSSD:
             block, _page = population.location_of(index)
             self.array.invalidate(block, population.footprint_bytes)
             population.override(index)
-            self.space.record_remove(
+            self.stats.record_remove(
                 population.scheme.key_bytes,
                 population.value_bytes,
                 population.footprint_bytes,
             )
 
     # ------------------------------------------------------------------
-    # packing machinery
+    # FtlCore personality hooks: write pipeline
     # ------------------------------------------------------------------
 
-    def _take_pack_batch(self) -> Optional[List[_QueuedFragment]]:
+    def live_bytes(self) -> int:
+        return self.stats.device_bytes
+
+    def peek_flush(self) -> Optional[Tuple[int, float]]:
         if not self._pack_queue:
             return None
-        oldest = self._pack_queue[0]
-        buffer_pressure = (
-            self.buffer.occupied_bytes >= self.buffer.capacity_bytes // 2
-        )
-        aged = self.env.now - oldest.arrival_us >= self.config.flush_linger_us
-        if self._pack_pending_bytes < self.usable_page and not (aged or buffer_pressure):
-            return None
-        batch: List[_QueuedFragment] = []
-        room = self.usable_page
+        return self._pack_pending_bytes, self._pack_queue[0].arrival_us
+
+    def pop_flush_batch(self) -> Optional[FlushBatch]:
         # First-fit in strict arrival order: the log-like, no-rearrangement
         # packing the paper describes.
+        batch: List[_QueuedFragment] = []
+        room = self.usable_page
         while self._pack_queue and self._pack_queue[0].nbytes <= room:
             fragment = self._pack_queue.popleft()
             self._pack_pending_bytes -= fragment.nbytes
             batch.append(fragment)
             room -= fragment.nbytes
-        return batch or None
+        if not batch:
+            return None
+        nbytes = sum(fragment.nbytes for fragment in batch)
+        return FlushBatch(
+            items=batch,
+            payload_bytes=nbytes,
+            transfer_bytes=self.array.geometry.page_bytes,
+        )
 
-    def _pack_worker(self) -> Generator[Event, None, None]:
-        while True:
-            batch = self._take_pack_batch()
-            if batch is None:
-                if self._pack_queue:
-                    # Partial batch aging: poll on the linger timer.
-                    yield self.env.any_of(
-                        [
-                            self._dirty.wait(),
-                            self.env.timeout(self.config.flush_linger_us),
-                        ]
-                    )
-                else:
-                    # Nothing queued: sleep until a store enqueues work.
-                    # (Pure signal wait — idle pollers would otherwise
-                    # dominate the event stream whenever the device crawls
-                    # through a GC stall.)
-                    yield self._dirty.wait()
+    def commit_flush(self, batch: FlushBatch, block: int, page: int) -> None:
+        manifest = self._manifests.setdefault(block, [])
+        for fragment in batch.items:
+            record = self._records.get(fragment.key)
+            if record is None or record.sequence != fragment.sequence:
+                # Superseded or deleted while queued: dead on arrival.
+                self.array.invalidate(block, fragment.nbytes)
                 continue
-            yield from self._block_allowance(for_gc=False)
-            block = self.data_stream.next_slot()
-            if len(self.pool) < self._gc_threshold_blocks:
-                self._gc_wakeup.notify_all()
-            nbytes = sum(fragment.nbytes for fragment in batch)
-            page = yield from self.array.program(
-                block, self.array.geometry.page_bytes, nbytes
+            record.locations[fragment.frag_index] = (block, page)
+            manifest.append(
+                ("r", fragment.key, fragment.frag_index, page, fragment.nbytes)
             )
-            manifest = self._manifests.setdefault(block, [])
-            for fragment in batch:
-                record = self._records.get(fragment.key)
-                if record is None or record.sequence != fragment.sequence:
-                    # Superseded or deleted while queued: dead on arrival.
-                    self.array.invalidate(block, fragment.nbytes)
-                    continue
-                record.locations[fragment.frag_index] = (block, page)
-                manifest.append(
-                    ("r", fragment.key, fragment.frag_index, page, fragment.nbytes)
-                )
-            self.buffer.drain(nbytes)
 
     def drain(self) -> Generator[Event, None, None]:
         """Wait until all accepted stores reach flash."""
-        while self._pack_queue or self.buffer.occupied_bytes:
-            yield self.env.timeout(self.config.flush_linger_us)
+        yield from self.core.drain()
 
     # ------------------------------------------------------------------
-    # index flash traffic
+    # FtlCore personality hooks: garbage collection
     # ------------------------------------------------------------------
 
-    def _index_page_read(self) -> Generator[Event, None, None]:
-        block, page = self.index.next_region_page()
-        yield from self.array.read(block, page, self.array.geometry.page_bytes)
-        self.counters.index_flash_reads += 1
+    def gc_eligible(self, block_index: int) -> bool:
+        return block_index not in self._region_set
 
-    def _index_page_write(self) -> Generator[Event, None, None]:
-        # The region is overwrite-in-place at model fidelity; timing uses
-        # the same die/channel contention as any program.
-        block, _page = self.index.next_region_page()
-        yield from self.array.channel_resource(block).serve(
-            self.timing.transfer_us(self.array.geometry.page_bytes)
-        )
-        yield from self.array.die_resource(block).serve(self.timing.program_us)
-        self.counters.index_flash_writes += 1
-
-    def _local_index_backpressure(self) -> Generator[Event, None, None]:
-        """Block stores while local indexes are full (merge engine behind)."""
-        while self.index.dirty_entries >= self._local_index_capacity:
-            self._merge_wakeup.notify_all()
-            yield self._merge_done.wait()
-
-    def _merge_worker(self) -> Generator[Event, None, None]:
-        """The serialized local-to-global index merge engine."""
-        while True:
-            if (
-                self.index.dirty_entries >= self.config.merge_batch
-                or self._iterator_flush_backlog
-            ):
-                if self._iterator_flush_backlog:
-                    self._iterator_flush_backlog -= 1
-                    yield from self._index_page_write()
-                work = self.index.take_merge_batch()
-                for _ in range(work.page_reads):
-                    yield from self._index_page_read()
-                for _ in range(work.page_writes):
-                    yield from self._index_page_write()
-                self._merge_done.notify_all()
-            else:
-                # Below a full batch: sleep until the dirty counter crosses
-                # the threshold (stores and GC notify).  Sub-batch entries
-                # stay in the local indexes — harmless, and a pure signal
-                # wait keeps idle periods event-free.
-                yield self._merge_wakeup.wait()
-
-    # ------------------------------------------------------------------
-    # garbage collection
-    # ------------------------------------------------------------------
-
-    def _block_allowance(self, for_gc: bool) -> Generator[Event, None, None]:
-        floor = 0 if for_gc else self.config.gc_reserve_blocks
-        while len(self.pool) <= floor:
-            self._gc_wakeup.notify_all()
-            yield self._space_signal.wait()
-
-    def _gc_page_benefit(self, block: int) -> int:
-        """Pages freed net of pages consumed by relocating ``block``."""
-        valid = self.array.blocks[block].valid_bytes
-        pages_needed = ceil_div(valid, self.usable_page) if valid else 0
-        return self.array.geometry.pages_per_block - pages_needed
-
-    def _has_reclaimable_victim(self) -> bool:
-        """Whether any closed data block would yield net pages to GC."""
-        for block_index, info in enumerate(self.array.blocks):
-            if block_index in self._region_set:
-                continue
-            if info.state is not BlockState.CLOSED:
-                continue
-            if self._gc_page_benefit(block_index) >= 1:
-                return True
-        return False
-
-    def _select_victim(self) -> Optional[int]:
-        best_index: Optional[int] = None
-        best_valid: Optional[int] = None
-        for block_index, info in enumerate(self.array.blocks):
-            if block_index in self._region_set:
-                continue
-            if info.state is not BlockState.CLOSED:
-                continue
-            if best_valid is None or info.valid_bytes < best_valid:
-                best_valid = info.valid_bytes
-                best_index = block_index
-                if best_valid == 0:
-                    break
-        return best_index
-
-    def _gc_worker(self) -> Generator[Event, None, None]:
-        while True:
-            if len(self.pool) < self._gc_threshold_blocks:
-                yield from self._collect_once()
-            else:
-                yield self.env.any_of(
-                    [self._gc_wakeup.wait(), self.env.timeout(2000.0)]
-                )
-
-    def _live_manifest_blobs(self, block: int) -> List[tuple]:
-        """Live blobs in ``block``: (kind, ident, page, nbytes) tuples."""
-        live: List[tuple] = []
-        for entry in self._manifests.get(block, []):
+    def gc_census(self, victim: int) -> List[GcItem]:
+        """Live blobs in ``victim``, from its manifest."""
+        live: List[GcItem] = []
+        for entry in self._manifests.get(victim, []):
             if entry[0] == "r":
                 _tag, key, frag_index, page, nbytes = entry
                 record = self._records.get(key)
                 if (
                     record is not None
                     and frag_index < len(record.locations)
-                    and record.locations[frag_index] == (block, page)
+                    and record.locations[frag_index] == (victim, page)
                 ):
-                    live.append(("r", (key, frag_index), page, nbytes))
+                    live.append(GcItem(("r", key, frag_index), page, nbytes))
             elif entry[0] == "pr":
                 _tag, pop_index, page_seq, page = entry
                 population = self._populations[pop_index]
@@ -646,104 +519,54 @@ class KVSSD:
                     if pair in population.overridden or pair in population.relocated:
                         continue
                     live.append(
-                        ("p", (pop_index, pair), page, population.footprint_bytes)
+                        GcItem(
+                            ("p", pop_index, pair), page, population.footprint_bytes
+                        )
                     )
             elif entry[0] == "p":
                 _tag, pop_index, pair, page, nbytes = entry
                 population = self._populations[pop_index]
                 if (
                     pair not in population.overridden
-                    and population.relocated.get(pair) == (block, page)
+                    and population.relocated.get(pair) == (victim, page)
                 ):
-                    live.append(("p", (pop_index, pair), page, nbytes))
+                    live.append(GcItem(("p", pop_index, pair), page, nbytes))
             else:  # pragma: no cover - manifest corruption guard
                 raise ConfigurationError(f"unknown manifest entry {entry!r}")
         return live
 
-    def _collect_once(self) -> Generator[Event, None, None]:
-        victim = self._select_victim()
-        if victim is None:
-            yield self.env.timeout(200.0)
-            return
-        critical = len(self.pool) <= self.config.gc_reserve_blocks
-        if self._gc_page_benefit(victim) < (1 if critical else 2):
-            # Relocating this victim would consume as many pages as it
-            # frees; wait for invalidations instead of churning.
-            yield self.env.timeout(2000.0)
-            return
-        foreground = self._space_signal.waiting > 0 or critical
-        self.counters.gc_runs += 1
-        if foreground:
-            self.counters.foreground_gc_runs += 1
-        self.counters.gc_events.append((self.env.now, foreground))
-
-        live = self._live_manifest_blobs(victim)
-        pages = sorted({page for _kind, _ident, page, _nbytes in live})
-        if pages:
-            read_procs = [
-                self.env.process(
-                    self.array.read(victim, page, self.array.geometry.page_bytes)
-                )
-                for page in pages
-            ]
-            yield self.env.all_of(read_procs)
-
-        relocated_bytes = 0
-        position = 0
-        while position < len(live):
-            group: List[tuple] = []
-            room = self.usable_page
-            while position < len(live) and live[position][3] <= room:
-                group.append(live[position])
-                room -= live[position][3]
-                position += 1
-            if not group:  # pragma: no cover - fragments never exceed usable
-                raise ConfigurationError("unpackable GC fragment")
-            yield from self._block_allowance(for_gc=True)
-            target = self.gc_stream.next_slot()
-            nbytes = sum(item[3] for item in group)
-            new_page = yield from self.array.program(
-                target, self.array.geometry.page_bytes, nbytes
+    def gc_relocate(
+        self, item: GcItem, victim: int, target: int, new_page: int, slot: int
+    ) -> bool:
+        kind = item.ident[0]
+        if kind == "r":
+            _tag, key, frag_index = item.ident
+            record = self._records.get(key)
+            if (
+                record is None
+                or frag_index >= len(record.locations)
+                or record.locations[frag_index] != (victim, item.page)
+            ):
+                return False
+            record.locations[frag_index] = (target, new_page)
+            self._manifests.setdefault(target, []).append(
+                ("r", key, frag_index, new_page, item.nbytes)
             )
-            manifest = self._manifests.setdefault(target, [])
-            for kind, ident, old_page, blob_bytes in group:
-                if kind == "r":
-                    key, frag_index = ident
-                    record = self._records.get(key)
-                    if (
-                        record is None
-                        or record.locations[frag_index] != (victim, old_page)
-                    ):
-                        # Invalidated between census and program.
-                        self.array.invalidate(target, blob_bytes)
-                        continue
-                    self.array.invalidate(victim, blob_bytes)
-                    record.locations[frag_index] = (target, new_page)
-                    manifest.append(("r", key, frag_index, new_page, blob_bytes))
-                else:
-                    pop_index, pair = ident
-                    population = self._populations[pop_index]
-                    if pair in population.overridden:
-                        self.array.invalidate(target, blob_bytes)
-                        continue
-                    self.array.invalidate(victim, blob_bytes)
-                    population.relocate(pair, target, new_page)
-                    manifest.append(("p", pop_index, pair, new_page, blob_bytes))
-                relocated_bytes += blob_bytes
-                self.index.note_update()
-        if self.index.dirty_entries >= self.config.merge_batch:
-            self._merge_wakeup.notify_all()
-        if self.array.blocks[victim].valid_bytes != 0:
-            raise ConfigurationError(
-                f"victim {victim} kept {self.array.blocks[victim].valid_bytes}B "
-                "valid after relocation"
+        else:
+            _tag, pop_index, pair = item.ident
+            population = self._populations[pop_index]
+            if pair in population.overridden:
+                return False
+            population.relocate(pair, target, new_page)
+            self._manifests.setdefault(target, []).append(
+                ("p", pop_index, pair, new_page, item.nbytes)
             )
-        yield from self.array.erase(victim)
+        self.index.note_update()
+        return True
+
+    def gc_cleanup(self, victim: int) -> None:
         self._manifests[victim] = []
-        self.pool.push(victim)
-        self.counters.gc_relocated_bytes += relocated_bytes
-        self.counters.gc_erased_blocks += 1
-        self._space_signal.notify_all()
+        self.merge.kick_if_dirty()
 
     # ------------------------------------------------------------------
     # experiment priming
@@ -755,73 +578,9 @@ class KVSSD:
         """Untimed bulk fill of ``count`` pairs under a key scheme.
 
         State-identical to storing the pairs and draining, minus simulated
-        time.  Blobs must not split (fills use small values, as in the
-        paper's setups).
+        time (see :func:`repro.kvftl.priming.fast_fill`).
         """
-        scheme = scheme or KeyScheme()
-        if count < 1:
-            raise ConfigurationError(f"fill count must be >= 1, got {count}")
-        for population in self._populations:
-            if population.scheme.prefix == scheme.prefix:
-                raise ConfigurationError(
-                    f"a population with prefix {scheme.prefix!r} already exists"
-                )
-        validate_value_size(value_bytes, self.config)
-        layout = layout_blob(
-            scheme.key_bytes, value_bytes, self.array.geometry.page_bytes, self.config
-        )
-        if layout.is_split:
-            raise ConfigurationError("fast_fill does not support split blobs")
-        if self.live_kvps + count > self.max_kvps:
-            raise CapacityLimitError(
-                f"fill of {count} exceeds the {self.max_kvps}-KVP limit"
-            )
-        if (
-            self.space.device_bytes + count * layout.footprint_bytes
-            > self.user_capacity_bytes
-        ):
-            raise DeviceFullError("fill exceeds device capacity")
-
-        per_page = blobs_per_page(
-            scheme.key_bytes, value_bytes, self.array.geometry.page_bytes, self.config
-        )
-        pages_needed = ceil_div(count, per_page)
-        pages_free = len(self.pool) * self.array.geometry.pages_per_block
-        if pages_needed > pages_free:
-            raise DeviceFullError(
-                f"fill needs {pages_needed} pages, {pages_free} free"
-            )
-        population = PrimedPopulation(
-            scheme=scheme,
-            count=count,
-            value_bytes=value_bytes,
-            footprint_bytes=layout.footprint_bytes,
-            blobs_per_page=per_page,
-        )
-        pop_index = len(self._populations)
-        self._populations.append(population)
-
-        pages_needed = ceil_div(count, per_page)
-        remaining = count
-        for page_seq in range(pages_needed):
-            blobs_here = min(per_page, remaining)
-            remaining -= blobs_here
-            block = self.data_stream.next_slot()
-            page = self.array.prime_program(
-                block, blobs_here * layout.footprint_bytes
-            )
-            population.page_blocks.append(block)
-            population.page_indices.append(page)
-            self._manifests.setdefault(block, []).append(
-                ("pr", pop_index, page_seq, page)
-            )
-        self.index.prime_entries(count)
-        self.iterators.note_bulk(scheme.key_for(0), count)
-        self.space.app_key_bytes += count * scheme.key_bytes
-        self.space.app_value_bytes += count * value_bytes
-        self.space.device_bytes += count * layout.footprint_bytes
-        self.live_kvps += count
-        return population
+        return priming.fast_fill(self, count, value_bytes, scheme)
 
     # ------------------------------------------------------------------
     # observability
@@ -830,15 +589,15 @@ class KVSSD:
     @property
     def occupied_bytes(self) -> int:
         """Device bytes holding live blob data."""
-        return self.space.device_bytes
+        return self.core.occupied_bytes
 
     def occupancy_fraction(self) -> float:
         """Live blob bytes over user capacity."""
-        return self.occupied_bytes / self.user_capacity_bytes
+        return self.core.occupancy_fraction()
 
     def free_block_count(self) -> int:
         """Erased blocks available for allocation."""
-        return len(self.pool)
+        return self.core.free_block_count()
 
     def layout_for(self, key_bytes: int, value_bytes: int) -> BlobLayout:
         """Blob layout this device would use for a (key, value) size pair."""

@@ -1,0 +1,88 @@
+"""Experiment priming for the KV personality (untimed bulk fills).
+
+The paper's setups fill large fractions of a 3.84 TB drive before each
+measured phase; simulating every store would dwarf the measurement.
+:func:`fast_fill` mutates the device into the state those stores would
+have produced — populations, manifests, index entries, space books —
+without advancing simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CapacityLimitError, ConfigurationError, DeviceFullError
+from repro.kvftl.blob import blobs_per_page, layout_blob, validate_value_size
+from repro.kvftl.population import KeyScheme, PrimedPopulation
+from repro.units import ceil_div
+
+
+def fast_fill(
+    device, count: int, value_bytes: int, scheme: Optional[KeyScheme] = None
+) -> PrimedPopulation:
+    """Untimed bulk fill of ``count`` pairs under a key scheme.
+
+    State-identical to storing the pairs and draining, minus simulated
+    time.  Blobs must not split (fills use small values, as in the
+    paper's setups).
+    """
+    scheme = scheme or KeyScheme()
+    if count < 1:
+        raise ConfigurationError(f"fill count must be >= 1, got {count}")
+    for population in device._populations:
+        if population.scheme.prefix == scheme.prefix:
+            raise ConfigurationError(
+                f"a population with prefix {scheme.prefix!r} already exists"
+            )
+    validate_value_size(value_bytes, device.config)
+    page_bytes = device.array.geometry.page_bytes
+    layout = layout_blob(scheme.key_bytes, value_bytes, page_bytes, device.config)
+    if layout.is_split:
+        raise ConfigurationError("fast_fill does not support split blobs")
+    if device.live_kvps + count > device.max_kvps:
+        raise CapacityLimitError(
+            f"fill of {count} exceeds the {device.max_kvps}-KVP limit"
+        )
+    if (
+        device.stats.device_bytes + count * layout.footprint_bytes
+        > device.user_capacity_bytes
+    ):
+        raise DeviceFullError("fill exceeds device capacity")
+
+    per_page = blobs_per_page(
+        scheme.key_bytes, value_bytes, page_bytes, device.config
+    )
+    pages_needed = ceil_div(count, per_page)
+    pages_free = len(device.pool) * device.array.geometry.pages_per_block
+    if pages_needed > pages_free:
+        raise DeviceFullError(
+            f"fill needs {pages_needed} pages, {pages_free} free"
+        )
+    population = PrimedPopulation(
+        scheme=scheme,
+        count=count,
+        value_bytes=value_bytes,
+        footprint_bytes=layout.footprint_bytes,
+        blobs_per_page=per_page,
+    )
+    pop_index = len(device._populations)
+    device._populations.append(population)
+
+    remaining = count
+    for page_seq in range(pages_needed):
+        blobs_here = min(per_page, remaining)
+        remaining -= blobs_here
+        block = device.core.write_stream.next_slot()
+        page = device.array.prime_program(block, blobs_here * layout.footprint_bytes)
+        population.page_blocks.append(block)
+        population.page_indices.append(page)
+        device._manifests.setdefault(block, []).append(
+            ("pr", pop_index, page_seq, page)
+        )
+    device.index.prime_entries(count)
+    device.iterators.note_bulk(scheme.key_for(0), count)
+    device.stats.app_key_bytes += count * scheme.key_bytes
+    device.stats.app_value_bytes += count * value_bytes
+    device.stats.device_bytes += count * layout.footprint_bytes
+    device.live_kvps += count
+    return population

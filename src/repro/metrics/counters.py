@@ -4,12 +4,19 @@ Both firmware personalities expose a :class:`DeviceCounters` with garbage
 collection activity, host-attributed traffic, and derived quantities such
 as write amplification.  Experiments snapshot counters around a measurement
 phase and report deltas.
+
+``snapshot``/``delta`` operate over the dataclass fields generically so
+subclasses (the FTL core's richer ``DeviceStats``) inherit correct
+before/after semantics without re-listing every field: numeric fields
+subtract, list fields carry the tail appended since the snapshot.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass, field, fields
+from typing import List, Tuple, TypeVar
+
+CountersT = TypeVar("CountersT", bound="DeviceCounters")
 
 
 @dataclass
@@ -29,44 +36,28 @@ class DeviceCounters:
     #: (time_us, was_foreground) for every GC run, for time-series overlays.
     gc_events: List[Tuple[float, bool]] = field(default_factory=list)
 
-    def snapshot(self) -> "DeviceCounters":
-        """Copy for before/after deltas."""
-        clone = DeviceCounters(
-            host_reads=self.host_reads,
-            host_writes=self.host_writes,
-            host_read_bytes=self.host_read_bytes,
-            host_write_bytes=self.host_write_bytes,
-            gc_runs=self.gc_runs,
-            foreground_gc_runs=self.foreground_gc_runs,
-            gc_relocated_bytes=self.gc_relocated_bytes,
-            gc_erased_blocks=self.gc_erased_blocks,
-            index_flash_reads=self.index_flash_reads,
-            index_flash_writes=self.index_flash_writes,
-        )
-        clone.gc_events = list(self.gc_events)
+    def snapshot(self: CountersT) -> CountersT:
+        """Copy for before/after deltas (lists are shallow-copied)."""
+        clone = type(self)()
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            setattr(clone, spec.name, list(value) if isinstance(value, list) else value)
         return clone
 
-    def delta(self, earlier: "DeviceCounters") -> "DeviceCounters":
-        """Counter difference ``self - earlier``."""
-        diff = DeviceCounters(
-            host_reads=self.host_reads - earlier.host_reads,
-            host_writes=self.host_writes - earlier.host_writes,
-            host_read_bytes=self.host_read_bytes - earlier.host_read_bytes,
-            host_write_bytes=self.host_write_bytes - earlier.host_write_bytes,
-            gc_runs=self.gc_runs - earlier.gc_runs,
-            foreground_gc_runs=(
-                self.foreground_gc_runs - earlier.foreground_gc_runs
-            ),
-            gc_relocated_bytes=(
-                self.gc_relocated_bytes - earlier.gc_relocated_bytes
-            ),
-            gc_erased_blocks=self.gc_erased_blocks - earlier.gc_erased_blocks,
-            index_flash_reads=self.index_flash_reads - earlier.index_flash_reads,
-            index_flash_writes=(
-                self.index_flash_writes - earlier.index_flash_writes
-            ),
-        )
-        diff.gc_events = self.gc_events[len(earlier.gc_events):]
+    def delta(self: CountersT, earlier: CountersT) -> CountersT:
+        """Counter difference ``self - earlier``.
+
+        Event lists keep only the entries recorded after ``earlier`` was
+        snapshotted (appends-only semantics).
+        """
+        diff = type(self)()
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            before = getattr(earlier, spec.name)
+            if isinstance(value, list):
+                setattr(diff, spec.name, value[len(before):])
+            else:
+                setattr(diff, spec.name, value - before)
         return diff
 
     def write_amplification(self) -> float:
