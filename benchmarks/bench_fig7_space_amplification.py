@@ -33,9 +33,9 @@ def test_fig7_space_amplification(benchmark):
     print(format_table(
         ["value", "KV-SSD", "KV analytic", "Aerospike", "RocksDB"], rows
     ))
-    print(f"max KVPs extrapolated to 3.84 TB: "
+    print("max KVPs extrapolated to 3.84 TB: "
           f"{result.max_kvps_full_scale / 1e9:.2f} billion "
-          f"(paper: ~3.1 billion)")
+          "(paper: ~3.1 billion)")
 
     # Paper-shape assertions.
     assert 14.0 < result.sa["kvssd"][50] < 21.0        # "up to ~17-20x"

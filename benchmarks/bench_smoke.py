@@ -1,0 +1,89 @@
+"""Wall-clock smoke benchmark: simulator throughput and tracing overhead.
+
+Runs one small fig6-shaped KV workload three ways — no tracer (the
+default disabled tracer), a bound-but-disabled tracer, and full tracing —
+and writes ``BENCH_smoke.json`` with wall times, simulated ops/sec, and
+the overhead of each mode over the baseline.  CI runs this on every push
+so a regression in simulator speed (or in the pay-for-what-you-enable
+promise of the disabled tracer) shows up as a number, not a feeling.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py [--n-ops N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.experiment import build_kv_rig, lab_geometry
+from repro.kvbench.runner import execute_workload
+from repro.kvbench.workload import WorkloadSpec, generate_operations
+from repro.kvftl.population import KeyScheme
+from repro.trace.tracer import TraceCollector, TraceConfig, Tracer
+
+
+def _run_once(n_ops: int, tracer: Tracer | None) -> dict:
+    scheme = KeyScheme(prefix=b"key-", digits=12)
+    rig = build_kv_rig(lab_geometry(blocks_per_plane=16), tracer=tracer)
+    rig.device.fast_fill(n_ops, 4096, scheme)
+    spec = WorkloadSpec(
+        n_ops=n_ops,
+        op="mixed",
+        population=n_ops,
+        key_scheme=scheme,
+        value_bytes=4096,
+        read_fraction=0.3,
+        seed=11,
+    )
+    started = time.perf_counter()
+    run = execute_workload(
+        rig.env, rig.adapter, generate_operations(spec),
+        queue_depth=8, name="bench",
+    )
+    wall_s = time.perf_counter() - started
+    return {
+        "wall_s": round(wall_s, 4),
+        "completed_ops": run.completed_ops,
+        "ops_per_wall_sec": round(run.completed_ops / wall_s, 1),
+        "simulated_ms": round(run.elapsed_us / 1000.0, 1),
+    }
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-ops", type=int, default=4000)
+    parser.add_argument("--out", default="BENCH_smoke.json")
+    args = parser.parse_args(argv)
+
+    modes = {
+        "baseline": None,
+        "tracer_disabled": Tracer(
+            TraceConfig(enabled=False), TraceCollector(1024)
+        ),
+        "tracer_enabled": Tracer(TraceConfig(), TraceCollector(1 << 20)),
+    }
+    results = {}
+    for mode, tracer in modes.items():
+        results[mode] = _run_once(args.n_ops, tracer)
+        print(f"{mode:>16}: {results[mode]['wall_s']:.3f}s wall, "
+              f"{results[mode]['ops_per_wall_sec']:.0f} ops/s")
+
+    base = results["baseline"]["wall_s"]
+    for mode in ("tracer_disabled", "tracer_enabled"):
+        overhead = (results[mode]["wall_s"] - base) / base * 100.0
+        results[mode]["overhead_pct"] = round(overhead, 1)
+        print(f"{mode:>16}: {overhead:+.1f}% vs baseline")
+
+    document = {"n_ops": args.n_ops, "results": results}
+    with open(args.out, "w", encoding="ascii") as handle:
+        json.dump(document, handle, indent=2)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

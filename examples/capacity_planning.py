@@ -59,7 +59,7 @@ def main() -> None:
         * model.space_amplification(key_bytes, value_bytes)
         for _n, key_bytes, value_bytes, share in WORKLOAD_MIX
     )
-    print(f"\nblended space amplification of the mix: "
+    print("\nblended space amplification of the mix: "
           f"{blended_device / blended_app:.2f}x")
 
     # Occupancy planning: how much latency headroom is left near the limit?
@@ -81,7 +81,7 @@ def main() -> None:
     ))
 
     full_scale = model.max_kvps_at_capacity(3.84e12)
-    print(f"\nfull-scale extrapolation: a 3.84 TB drive tops out at "
+    print("\nfull-scale extrapolation: a 3.84 TB drive tops out at "
           f"~{full_scale / 1e9:.2f} billion pairs (paper observed ~3.1 B).")
     print("plan for <=50% of the pair limit if the workload is tiny-record "
           "write-heavy: past the index-DRAM knee, store latency grows "

@@ -65,7 +65,7 @@ def main() -> None:
     delta = device.counters.delta(before)
 
     series = run.bandwidth.series_mib_per_sec()
-    print(f"\nupdate-phase bandwidth over time (MiB/s):")
+    print("\nupdate-phase bandwidth over time (MiB/s):")
     print(f"  {sparkline(series)}")
     print(f"  head {series[0]:.0f} -> trough "
           f"{min(s for s in series if s > 0):.0f} MiB/s")

@@ -113,7 +113,7 @@ def main() -> None:
     ))
 
     kv_sa = kv_rig.device.space.amplification()
-    print(f"\nthe trade (paper Sec. V): the KV-SSD frees the embedded CPU "
+    print("\nthe trade (paper Sec. V): the KV-SSD frees the embedded CPU "
           f"({lsm_cpu / kv_cpu:.1f}x less host CPU; tail ingest "
           f"{lsm_ingest.latency.summary().p99 / kv_ingest.latency.summary().p99:.1f}x "
           f"calmer at p99), but pads each {SENSOR_VALUE_BYTES} B record to "

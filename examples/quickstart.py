@@ -58,7 +58,7 @@ def main() -> None:
     print(f"  live pairs:        {device.live_kvps}")
     print(f"  device bytes:      {pretty_size(device.occupied_bytes)}")
     print(f"  space amp:         {device.space.amplification():.2f}x "
-          f"(1 KiB minimum allocation pads the 100 B value)")
+          "(1 KiB minimum allocation pads the 100 B value)")
     print(f"  flash programs:    {device.array.counters.page_programs}")
     print(f"  host CPU consumed: {rig.cpu.total_busy_us:.1f} us")
 

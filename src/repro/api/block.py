@@ -36,21 +36,36 @@ class BlockDeviceAPI:
 
     def write(self, offset: int, nbytes: int) -> Generator[Event, None, None]:
         """Direct write (timed host-to-completion process)."""
-        self.driver.cpu.charge(self.component, self.LIBRARY_CPU_US)
-        yield from self.driver.submit(1, self.sync, self.component)
-        yield from self.device.write(offset, nbytes)
-        self.driver.complete(1, self.component)
+        span = self.device.tracer.op("write")
+        try:
+            self.driver.cpu.charge(self.component, self.LIBRARY_CPU_US)
+            with span.phase("nvme"):
+                yield from self.driver.submit(1, self.sync, self.component)
+            yield from self.device.write(offset, nbytes, span=span)
+            self.driver.complete(1, self.component)
+        finally:
+            span.finish(nbytes=nbytes)
 
     def read(self, offset: int, nbytes: int) -> Generator[Event, None, None]:
         """Direct read."""
-        self.driver.cpu.charge(self.component, self.LIBRARY_CPU_US)
-        yield from self.driver.submit(1, self.sync, self.component)
-        yield from self.device.read(offset, nbytes)
-        self.driver.complete(1, self.component)
+        span = self.device.tracer.op("read")
+        try:
+            self.driver.cpu.charge(self.component, self.LIBRARY_CPU_US)
+            with span.phase("nvme"):
+                yield from self.driver.submit(1, self.sync, self.component)
+            yield from self.device.read(offset, nbytes, span=span)
+            self.driver.complete(1, self.component)
+        finally:
+            span.finish(nbytes=nbytes)
 
     def deallocate(self, offset: int, nbytes: int) -> Generator[Event, None, None]:
         """TRIM a range."""
-        self.driver.cpu.charge(self.component, self.LIBRARY_CPU_US)
-        yield from self.driver.submit(1, self.sync, self.component)
-        yield from self.device.deallocate(offset, nbytes)
-        self.driver.complete(1, self.component)
+        span = self.device.tracer.op("deallocate")
+        try:
+            self.driver.cpu.charge(self.component, self.LIBRARY_CPU_US)
+            with span.phase("nvme"):
+                yield from self.driver.submit(1, self.sync, self.component)
+            yield from self.device.deallocate(offset, nbytes, span=span)
+            self.driver.complete(1, self.component)
+        finally:
+            span.finish(nbytes=nbytes)

@@ -43,42 +43,74 @@ class KVStoreAPI:
         self.sync = sync
         self.component = component
 
-    def _preamble(self, key: bytes) -> Generator[Event, None, int]:
+    def _preamble(
+        self, key: bytes, span
+    ) -> Generator[Event, None, int]:
         ncommands = commands_for_key(len(key))
         self.driver.cpu.charge(self.component, self.LIBRARY_CPU_US)
-        yield from self.driver.submit(ncommands, self.sync, self.component)
+        with span.phase("nvme"):
+            yield from self.driver.submit(ncommands, self.sync, self.component)
         return ncommands
 
     def store(self, key: bytes, value_bytes: int) -> Generator[Event, None, None]:
         """Store a pair (timed host-to-completion process)."""
-        ncommands = yield from self._preamble(key)
-        yield from self.device.store(key, value_bytes, ncommands=ncommands)
-        self.driver.complete(1, self.component)
+        span = self.device.tracer.op("store")
+        try:
+            ncommands = yield from self._preamble(key, span)
+            yield from self.device.store(
+                key, value_bytes, ncommands=ncommands, span=span
+            )
+            self.driver.complete(1, self.component)
+        finally:
+            span.finish(key_bytes=len(key), value_bytes=value_bytes)
 
     def retrieve(self, key: bytes) -> Generator[Event, None, int]:
         """Retrieve a pair; returns its value size."""
-        ncommands = yield from self._preamble(key)
-        value_bytes = yield from self.device.retrieve(key, ncommands=ncommands)
-        self.driver.complete(1, self.component)
+        span = self.device.tracer.op("retrieve")
+        try:
+            ncommands = yield from self._preamble(key, span)
+            value_bytes = yield from self.device.retrieve(
+                key, ncommands=ncommands, span=span
+            )
+            self.driver.complete(1, self.component)
+        finally:
+            span.finish(key_bytes=len(key))
         return value_bytes
 
     def delete(self, key: bytes) -> Generator[Event, None, None]:
         """Delete a pair."""
-        ncommands = yield from self._preamble(key)
-        yield from self.device.delete(key, ncommands=ncommands)
-        self.driver.complete(1, self.component)
+        span = self.device.tracer.op("delete")
+        try:
+            ncommands = yield from self._preamble(key, span)
+            yield from self.device.delete(key, ncommands=ncommands, span=span)
+            self.driver.complete(1, self.component)
+        finally:
+            span.finish(key_bytes=len(key))
 
     def exist(self, key: bytes) -> Generator[Event, None, bool]:
         """Membership query; returns the device's verdict."""
-        ncommands = yield from self._preamble(key)
-        present = yield from self.device.exist(key, ncommands=ncommands)
-        self.driver.complete(1, self.component)
+        span = self.device.tracer.op("exist")
+        try:
+            ncommands = yield from self._preamble(key, span)
+            present = yield from self.device.exist(
+                key, ncommands=ncommands, span=span
+            )
+            self.driver.complete(1, self.component)
+        finally:
+            span.finish(key_bytes=len(key))
         return present
 
     def iterate(self, prefix4: bytes, limit: int = 1024):
         """Prefix iteration (the SNIA iterator surface); returns keys."""
-        self.driver.cpu.charge(self.component, self.LIBRARY_CPU_US)
-        yield from self.driver.submit(1, self.sync, self.component)
-        keys = yield from self.device.iterate(prefix4, limit, ncommands=1)
-        self.driver.complete(1, self.component)
+        span = self.device.tracer.op("iterate")
+        try:
+            self.driver.cpu.charge(self.component, self.LIBRARY_CPU_US)
+            with span.phase("nvme"):
+                yield from self.driver.submit(1, self.sync, self.component)
+            keys = yield from self.device.iterate(
+                prefix4, limit, ncommands=1, span=span
+            )
+            self.driver.complete(1, self.component)
+        finally:
+            span.finish()
         return keys

@@ -93,6 +93,6 @@ class BlockSSDConfig:
             raise ConfigurationError("gc_threshold_fraction must be in (0, 1)")
         if self.gc_victim_policy not in ("greedy", "cost_benefit"):
             raise ConfigurationError(
-                f"gc_victim_policy must be 'greedy' or 'cost_benefit', "
+                "gc_victim_policy must be 'greedy' or 'cost_benefit', "
                 f"got {self.gc_victim_policy!r}"
             )

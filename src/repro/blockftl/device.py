@@ -40,6 +40,7 @@ from repro.flash.timing import FlashTiming
 from repro.ftl.core import DeviceStats, FlushBatch, FtlCore, GcItem
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
+from repro.trace.tracer import NULL_SPAN, Tracer
 
 
 @dataclass
@@ -61,15 +62,23 @@ class BlockSSD:
         timing: Optional[FlashTiming] = None,
         config: Optional[BlockSSDConfig] = None,
         name: str = "block-ssd",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.env = env
         self.name = name
         self.config = config or BlockSSDConfig()
         self.timing = timing or FlashTiming()
         self.stats = DeviceStats()
+        #: Span tracer shared by the whole stack below this device; a
+        #: disabled singleton when tracing is off, so API layers can
+        #: always call ``device.tracer.op(...)``.
+        self.tracer = tracer if tracer is not None else Tracer.disabled()
+        self.tracer.bind(env)
         #: Legacy view kept for tooling; counters live on ``stats`` now.
         self.counters = self.stats
-        self.array = FlashArray(env, geometry, self.timing, stats=self.stats)
+        self.array = FlashArray(
+            env, geometry, self.timing, stats=self.stats, tracer=self.tracer
+        )
 
         raw_bytes = geometry.capacity_bytes
         usable = int(raw_bytes * (1.0 - self.config.overprovision))
@@ -97,6 +106,7 @@ class BlockSSD:
             user_capacity_bytes=self.user_capacity_bytes,
             gc_victim_policy=self.config.gc_victim_policy,
             stats=self.stats,
+            tracer=self.tracer,
             name=name,
         )
         self.pool = self.core.pool
@@ -145,16 +155,21 @@ class BlockSSD:
     # host write path
     # ------------------------------------------------------------------
 
-    def write(self, offset: int, nbytes: int) -> Generator[Event, None, None]:
+    def write(
+        self, offset: int, nbytes: int, span=NULL_SPAN
+    ) -> Generator[Event, None, None]:
         """Host write; completes at buffer admission (timed process).
 
         The commit into the flush queue happens without suspension points
         so one command's units stay adjacent in flush order — real FTLs
         keep a command's data together, and scattering it across pages
         would fan a later read of the same range across the whole array.
+        ``span`` is the operation's root trace span; every suspension
+        point sits in one of its attribution phases.
         """
         self._check_range(offset, nbytes)
-        yield from self.controller.serve(self.config.host_interface_us)
+        with span.phase("controller"):
+            yield from self.controller.serve(self.config.host_interface_us)
         pieces = self._split_units(offset, nbytes)
 
         # Phase 1: mapping updates and sub-unit read-modify-writes (timed).
@@ -174,13 +189,15 @@ class BlockSSD:
                 if hit
                 else self.config.map_update_miss_us
             )
-            yield from self.controller.serve(cost)
+            with span.phase("index"):
+                yield from self.controller.serve(cost)
             partial = length < self.map_unit
             slot_id = self.pagemap.lookup(unit)
             if partial and slot_id != UNMAPPED and unit not in self._pending:
                 # Sub-unit update of flash-resident data: read-modify-write.
                 block, page, _slot = self.pagemap.unflatten(slot_id)
-                yield from self.array.read(block, page, self.map_unit)
+                with span.phase("flash"):
+                    yield from self.array.read(block, page, self.map_unit)
 
         # Phases 2+3, chunked: admit buffer space for a group of units,
         # then commit that group without suspension points.  Chunking keeps
@@ -193,10 +210,12 @@ class BlockSSD:
         )
         for start in range(0, len(pieces), group_units):
             group = pieces[start:start + group_units]
-            yield from self.buffer.admit(len(group) * self.map_unit)
-            yield from self.controller.serve(
-                self.config.buffer_copy_us * len(group)
-            )
+            with span.phase("buffer"):
+                yield from self.buffer.admit(len(group) * self.map_unit)
+            with span.phase("controller"):
+                yield from self.controller.serve(
+                    self.config.buffer_copy_us * len(group)
+                )
             for unit, _in_unit, _length in group:
                 self._sequence += 1
                 entry = self._pending.get(unit)
@@ -227,10 +246,13 @@ class BlockSSD:
     # host read path
     # ------------------------------------------------------------------
 
-    def read(self, offset: int, nbytes: int) -> Generator[Event, None, None]:
+    def read(
+        self, offset: int, nbytes: int, span=NULL_SPAN
+    ) -> Generator[Event, None, None]:
         """Host read (timed process)."""
         self._check_range(offset, nbytes)
-        yield from self.controller.serve(self.config.host_interface_us)
+        with span.phase("controller"):
+            yield from self.controller.serve(self.config.host_interface_us)
         page_reads: Dict[Tuple[int, int], int] = {}
         seen_segments = set()
         for unit, _in_unit, length in self._split_units(offset, nbytes):
@@ -240,16 +262,19 @@ class BlockSSD:
             else:
                 seen_segments.add(segment)
                 hit = self.segment_cache.access(unit)
-            yield from self.controller.serve(self.config.map_hit_us)
-            if not hit:
-                yield from self.map_loader.serve(self.config.map_load_us)
+            with span.phase("index"):
+                yield from self.controller.serve(self.config.map_hit_us)
+                if not hit:
+                    yield from self.map_loader.serve(self.config.map_load_us)
             if unit in self._pending:
-                yield from self.controller.serve(self.config.buffer_read_us)
+                with span.phase("controller"):
+                    yield from self.controller.serve(self.config.buffer_read_us)
                 continue
             slot_id = self.pagemap.lookup(unit)
             if slot_id == UNMAPPED:
                 # Reading never-written space: served from controller only.
-                yield from self.controller.serve(self.config.buffer_read_us)
+                with span.phase("controller"):
+                    yield from self.controller.serve(self.config.buffer_read_us)
                 continue
             block, page, _slot = self.pagemap.unflatten(slot_id)
             key = (block, page)
@@ -261,7 +286,8 @@ class BlockSSD:
                 )
                 for (block, page), length in page_reads.items()
             ]
-            yield self.env.all_of(procs)
+            with span.phase("flash"):
+                yield self.env.all_of(procs)
         self.stats.host_reads += 1
         self.stats.host_read_bytes += nbytes
 
@@ -269,13 +295,16 @@ class BlockSSD:
     # deallocate (TRIM)
     # ------------------------------------------------------------------
 
-    def deallocate(self, offset: int, nbytes: int) -> Generator[Event, None, None]:
+    def deallocate(
+        self, offset: int, nbytes: int, span=NULL_SPAN
+    ) -> Generator[Event, None, None]:
         """Drop mappings for fully covered units (timed, cheap)."""
         self._check_range(offset, nbytes)
         pieces = self._split_units(offset, nbytes)
-        yield from self.controller.serve(
-            self.config.host_interface_us + 0.05 * len(pieces)
-        )
+        with span.phase("controller"):
+            yield from self.controller.serve(
+                self.config.host_interface_us + 0.05 * len(pieces)
+            )
         for unit, in_unit, length in pieces:
             if in_unit != 0 or length != self.map_unit:
                 continue  # partial-unit trims are advisory no-ops

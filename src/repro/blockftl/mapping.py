@@ -16,7 +16,7 @@ sequential-access advantage.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -58,7 +58,7 @@ def _print_fig3(args: argparse.Namespace) -> None:
     print(format_table(["device", "occupancy", "read us", "write us"], rows))
     print(f"\nKV degradation: write {result.degradation('kv', 'write'):.1f}x "
           f"(paper 16.4x), read {result.degradation('kv', 'read'):.1f}x "
-          f"(paper 2x)")
+          "(paper 2x)")
 
 
 def _print_fig4(args: argparse.Namespace) -> None:
@@ -90,10 +90,13 @@ def _print_fig6(args: argparse.Namespace) -> None:
     result = fig6_foreground_gc()
     for scenario, series in result.series.items():
         summary = result.stats_summary[scenario]
+        latency = result.latency_summary[scenario]
         print(f"{scenario:<16} trough {result.trough_ratio(scenario):5.2f}  "
               f"fgGC {result.foreground_gc_runs.get(scenario, 0):4d}  "
               f"WAF {summary['waf']:5.2f}  "
               f"stall {summary['stall_ms']:8.1f}ms  "
+              f"p99 {latency['p99'] / 1000.0:7.1f}ms  "
+              f"p999 {latency['p999'] / 1000.0:7.1f}ms  "
               f"{sparkline(series[:48])}")
 
 
@@ -108,7 +111,7 @@ def _print_fig7(args: argparse.Namespace) -> None:
         ["value", "KV-SSD", "KV analytic", "Aerospike", "RocksDB"], rows
     ))
     print(f"\nmax KVPs at 3.84 TB: {result.max_kvps_full_scale / 1e9:.2f}B "
-          f"(paper ~3.1B)")
+          "(paper ~3.1B)")
 
 
 def _print_fig8(args: argparse.Namespace) -> None:
@@ -120,12 +123,33 @@ def _print_fig8(args: argparse.Namespace) -> None:
     ]
     print(format_table(["key", "cmds", "sync MiB/s", "async MiB/s"], rows))
     print(f"\ncliff past 16B: async {result.cliff_ratio('async'):.2f}x "
-          f"(paper ~0.53x)")
+          "(paper ~0.53x)")
 
 
 def _print_headline(args: argparse.Namespace) -> None:
     result = headline_scalars()
     print(format_table(["metric", "paper", "measured"], result.rows()))
+
+
+def _print_trace(args: argparse.Namespace) -> None:
+    # Imported lazily so the figure subcommands never pay for the trace
+    # machinery (and vice versa).
+    from repro.trace.export import format_breakdown, write_chrome_trace
+    from repro.trace.run import run_traced
+
+    report = run_traced(fig=args.fig)
+    print(f"scenario: {args.fig} — {report.scenario.focus}")
+    for personality in ("kv-ssd", "block-ssd"):
+        run = report.runs[personality]
+        print(f"\n[{personality}] {run.completed_ops} ops in "
+              f"{run.elapsed_us / 1000.0:.1f}ms simulated")
+        print(format_breakdown(report.breakdowns[personality]))
+    events = write_chrome_trace(report.collector, args.out)
+    print(f"\nwrote {events} events to {args.out} "
+          "(load in https://ui.perfetto.dev or chrome://tracing)")
+    if report.collector.dropped:
+        print(f"warning: ring buffer dropped {report.collector.dropped} "
+              "spans; raise max_spans for a complete timeline")
 
 
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
@@ -151,8 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all"],
-        help="which figure (or 'headline'/'all') to regenerate",
+        choices=sorted(_COMMANDS) + ["all", "trace"],
+        help=(
+            "which figure (or 'headline'/'all') to regenerate, or 'trace' "
+            "to record a span trace of a figure-shaped workload"
+        ),
     )
     parser.add_argument(
         "--n-ops", type=int, default=1200,
@@ -162,17 +189,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--measured-ops", type=int, default=1500,
         help="fig3 measured operations per phase (default: 1500)",
     )
+    parser.add_argument(
+        "--fig", default="fig6", metavar="FIG",
+        help="trace: which figure-shaped scenario to record (default: fig6)",
+    )
+    parser.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="trace: Perfetto JSON output path (default: trace.json)",
+    )
     return parser
 
 
 def main(argv: List[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "trace":
+        # Excluded from 'all': tracing is a diagnostic pass that writes a
+        # file, not a figure regeneration.
+        names = ["trace"]
+        commands = {"trace": _print_trace}
+    elif args.experiment == "all":
+        names = sorted(_COMMANDS)
+        commands = _COMMANDS
+    else:
+        names = [args.experiment]
+        commands = _COMMANDS
     for name in names:
         print(f"\n=== {name} ===")
         started = time.time()
-        _COMMANDS[name](args)
+        commands[name](args)
         print(f"[{name} done in {time.time() - started:.1f}s]")
     return 0
 

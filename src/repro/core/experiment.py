@@ -39,6 +39,7 @@ from repro.kvftl.device import KVSSD
 from repro.metrics.cpu import CpuAccountant
 from repro.nvme.driver import DriverCosts, KernelDeviceDriver
 from repro.sim.engine import Environment
+from repro.trace.tracer import Tracer
 from repro.units import KIB
 
 
@@ -119,12 +120,18 @@ def build_kv_rig(
     driver_costs: DriverCosts = DriverCosts(),
     sync: bool = False,
     host_cores: int = 16,
+    tracer: Optional[Tracer] = None,
 ) -> KVRig:
-    """Fresh environment with a KV-SSD behind the KVS API."""
+    """Fresh environment with a KV-SSD behind the KVS API.
+
+    An unbound ``tracer`` is bound to the rig's fresh environment and
+    threaded through the device, core, flash array, and driver.
+    """
     env = Environment()
     cpu = CpuAccountant(env, host_cores)
-    device = KVSSD(env, geometry or lab_geometry(), timing, config)
-    driver = KernelDeviceDriver(env, cpu, driver_costs)
+    device = KVSSD(env, geometry or lab_geometry(), timing, config,
+                   tracer=tracer)
+    driver = KernelDeviceDriver(env, cpu, driver_costs, tracer=device.tracer)
     api = KVStoreAPI(env, device, driver, sync=sync)
     return KVRig(env, cpu, driver, device, api, KVSSDAdapter(api))
 
@@ -136,12 +143,14 @@ def build_block_rig(
     driver_costs: DriverCosts = DriverCosts(),
     sync: bool = False,
     host_cores: int = 16,
+    tracer: Optional[Tracer] = None,
 ) -> BlockRig:
     """Fresh environment with a block SSD behind direct I/O."""
     env = Environment()
     cpu = CpuAccountant(env, host_cores)
-    device = BlockSSD(env, geometry or lab_geometry(), timing, config)
-    driver = KernelDeviceDriver(env, cpu, driver_costs)
+    device = BlockSSD(env, geometry or lab_geometry(), timing, config,
+                      tracer=tracer)
+    driver = KernelDeviceDriver(env, cpu, driver_costs, tracer=device.tracer)
     api = BlockDeviceAPI(env, device, driver, sync=sync)
     return BlockRig(env, cpu, driver, device, api)
 
@@ -152,12 +161,14 @@ def build_lsm_rig(
     block_config: Optional[BlockSSDConfig] = None,
     timing: Optional[FlashTiming] = None,
     host_cores: int = 16,
+    tracer: Optional[Tracer] = None,
 ) -> LSMRig:
     """Fresh environment with the RocksDB stand-in on ext4 on block."""
     env = Environment()
     cpu = CpuAccountant(env, host_cores)
-    device = BlockSSD(env, geometry or lab_geometry(), timing, block_config)
-    driver = KernelDeviceDriver(env, cpu)
+    device = BlockSSD(env, geometry or lab_geometry(), timing, block_config,
+                      tracer=tracer)
+    driver = KernelDeviceDriver(env, cpu, tracer=device.tracer)
     api = BlockDeviceAPI(env, device, driver)
     fs = SimFileSystem(env, api)
     store = LSMStore(env, fs, lsm_config)
@@ -170,12 +181,14 @@ def build_hash_rig(
     block_config: Optional[BlockSSDConfig] = None,
     timing: Optional[FlashTiming] = None,
     host_cores: int = 16,
+    tracer: Optional[Tracer] = None,
 ) -> HashRig:
     """Fresh environment with the Aerospike stand-in on raw block."""
     env = Environment()
     cpu = CpuAccountant(env, host_cores)
-    device = BlockSSD(env, geometry or lab_geometry(), timing, block_config)
-    driver = KernelDeviceDriver(env, cpu)
+    device = BlockSSD(env, geometry or lab_geometry(), timing, block_config,
+                      tracer=tracer)
+    driver = KernelDeviceDriver(env, cpu, tracer=device.tracer)
     api = BlockDeviceAPI(env, device, driver)
     store = HashKVStore(env, api, hash_config)
     return HashRig(env, cpu, driver, device, api, store, HashKVAdapter(store))

@@ -13,10 +13,9 @@ DESIGN.md section 6 for the scaling discipline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.experiment import (
-    BlockRig,
     build_block_rig,
     build_hash_rig,
     build_kv_rig,
@@ -25,10 +24,8 @@ from repro.core.experiment import (
 )
 from repro.core.model import device_stats_summary
 from repro.errors import ConfigurationError
-from repro.kvbench.runner import RunResult, execute_workload
+from repro.kvbench.runner import execute_workload
 from repro.kvbench.workload import (
-    Operation,
-    OpType,
     Pattern,
     WorkloadSpec,
     generate_operations,
@@ -524,8 +521,11 @@ class Fig6Result:
     series: Dict[str, List[float]] = field(default_factory=dict)
     foreground_gc_runs: Dict[str, int] = field(default_factory=dict)
     #: stats_summary[scenario] -> device_stats_summary() of the measured
-    #: phase (waf, gc_moved_mib, foreground_gc_fraction, stall_ms).
+    #: phase (waf, gc_moved_mib, foreground_gc_fraction, stall_ms, ...).
     stats_summary: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: latency_summary[scenario] -> LatencySummary.as_dict() of the update
+    #: stream (mean/p50/p99/p999), for the tail-collapse view of Fig. 6.
+    latency_summary: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def trough_ratio(self, scenario: str) -> float:
         """Worst window over the first window (1.0 = no collapse)."""
@@ -646,6 +646,7 @@ def fig6_foreground_gc(
         # scenario branches need no per-device counter reads.
         result.foreground_gc_runs[scenario] = run.device_stats.foreground_gc_runs
         result.stats_summary[scenario] = device_stats_summary(run.device_stats)
+        result.latency_summary[scenario] = run.latency.summary().as_dict()
         result.series[scenario] = run.bandwidth.series_mib_per_sec()
     return result
 

@@ -42,7 +42,9 @@ def device_stats_summary(stats: DeviceStats) -> Dict[str, float]:
     * ``foreground_gc_fraction`` — GC runs triggered with a host writer
       stalled (0.0 when GC never ran);
     * ``stall_ms`` — host time lost to write-buffer admission plus
-      free-block allowance waits.
+      free-block allowance waits;
+    * ``flash_busy_ms`` — summed die/channel service time across all
+      flash ops (matches the trace subsystem's flash-span total).
     """
     gc_runs = stats.gc_runs
     return {
@@ -52,6 +54,7 @@ def device_stats_summary(stats: DeviceStats) -> Dict[str, float]:
             stats.foreground_gc_runs / gc_runs if gc_runs else 0.0
         ),
         "stall_ms": stats.stall_time_us() / 1000.0,
+        "flash_busy_ms": stats.flash_busy_us / 1000.0,
     }
 
 

@@ -21,7 +21,7 @@ verified at their level through mapping invariants.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, List
 
 from repro.errors import AddressError, SimulationError
@@ -92,6 +92,7 @@ class FlashArray:
         geometry: Geometry,
         timing: FlashTiming,
         stats: object = None,
+        tracer: object = None,
     ) -> None:
         self.env = env
         self.geometry = geometry
@@ -99,6 +100,8 @@ class FlashArray:
         self.counters = FlashCounters()
         #: Optional device-level DeviceStats sink mirroring timed flash ops.
         self._stats = stats
+        #: Optional span tracer; timed ops emit die/channel timeline spans.
+        self._tracer = tracer
         self._dies: List[Resource] = [
             Resource(env, capacity=1, name=f"die{i}")
             for i in range(geometry.total_dies)
@@ -109,6 +112,18 @@ class FlashArray:
         self.blocks: List[BlockInfo] = [
             BlockInfo() for _ in range(geometry.total_blocks)
         ]
+
+    def _tracing(self) -> object:
+        """The tracer when flash spans are wanted, else ``None``.
+
+        Timeline spans are recorded immediately after each resource serve
+        with the known service duration, so they cover busy time only —
+        queue waits show up as gaps on the die/channel tracks.
+        """
+        tracer = self._tracer
+        if tracer is not None and tracer.wants("flash"):
+            return tracer
+        return None
 
     # -- resource lookup ---------------------------------------------------
 
@@ -209,10 +224,27 @@ class FlashArray:
                 f"read of unprogrammed page {page_index} in block {block_index}"
             )
         nbytes = min(nbytes, self.geometry.page_bytes)
+        transfer_us = self.timing.transfer_us(nbytes)
+        tracer = self._tracing()
         yield from self.die_resource(block_index).serve(self.timing.read_us)
-        yield from self.channel_resource(block_index).serve(
-            self.timing.transfer_us(nbytes)
-        )
+        # Busy time is banked per serve, at the same instants spans are
+        # recorded, so counter and trace agree even with ops in flight.
+        if self._stats is not None:
+            self._stats.flash_busy_us += self.timing.read_us
+        if tracer is not None:
+            tracer.complete(
+                f"die{self.geometry.die_of_block(block_index)}",
+                "read", "flash", self.timing.read_us,
+                args={"block": block_index},
+            )
+        yield from self.channel_resource(block_index).serve(transfer_us)
+        if self._stats is not None:
+            self._stats.flash_busy_us += transfer_us
+        if tracer is not None:
+            tracer.complete(
+                f"ch{self.geometry.channel_of_block(block_index)}",
+                "read.xfer", "flash", transfer_us,
+            )
         self.counters.page_reads += 1
         self.counters.bytes_read += nbytes
         if self._stats is not None:
@@ -228,10 +260,25 @@ class FlashArray:
         accounting.  Returns the programmed page index.
         """
         nbytes = min(nbytes, self.geometry.page_bytes)
-        yield from self.channel_resource(block_index).serve(
-            self.timing.transfer_us(nbytes)
-        )
+        transfer_us = self.timing.transfer_us(nbytes)
+        tracer = self._tracing()
+        yield from self.channel_resource(block_index).serve(transfer_us)
+        if self._stats is not None:
+            self._stats.flash_busy_us += transfer_us
+        if tracer is not None:
+            tracer.complete(
+                f"ch{self.geometry.channel_of_block(block_index)}",
+                "program.xfer", "flash", transfer_us,
+            )
         yield from self.die_resource(block_index).serve(self.timing.program_us)
+        if self._stats is not None:
+            self._stats.flash_busy_us += self.timing.program_us
+        if tracer is not None:
+            tracer.complete(
+                f"die{self.geometry.die_of_block(block_index)}",
+                "program", "flash", self.timing.program_us,
+                args={"block": block_index},
+            )
         page_index = self._commit_program(block_index, valid_bytes)
         self.counters.page_programs += 1
         self.counters.bytes_programmed += nbytes
@@ -247,7 +294,16 @@ class FlashArray:
                 f"erase of block {block_index} with {info.valid_bytes} valid "
                 "bytes; relocate live data first"
             )
+        tracer = self._tracing()
         yield from self.die_resource(block_index).serve(self.timing.erase_us)
+        if self._stats is not None:
+            self._stats.flash_busy_us += self.timing.erase_us
+        if tracer is not None:
+            tracer.complete(
+                f"die{self.geometry.die_of_block(block_index)}",
+                "erase", "flash", self.timing.erase_us,
+                args={"block": block_index},
+            )
         info.state = BlockState.FREE
         info.next_page = 0
         info.erase_count += 1

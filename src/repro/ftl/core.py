@@ -50,7 +50,7 @@ implementing these eight hooks — not forking the engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional, Tuple
+from typing import Generator, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.flash.nand import BlockState, FlashArray
@@ -93,6 +93,9 @@ class DeviceStats(DeviceCounters):
     flash_reads: int = 0
     flash_programs: int = 0
     flash_erases: int = 0
+    #: Summed service time of timed flash ops (die + channel occupancy);
+    #: cross-checks the trace subsystem's flash timeline spans.
+    flash_busy_us: float = 0.0
     # -- stall telemetry --------------------------------------------------
     #: Time host writers spent blocked on buffer admission.
     buffer_stall_us: float = 0.0
@@ -196,6 +199,7 @@ class FtlCore:
         user_capacity_bytes: int,
         gc_victim_policy: str = "greedy",
         stats: Optional[DeviceStats] = None,
+        tracer: object = None,
         name: str = "ftl",
     ) -> None:
         if gc_victim_policy not in VICTIM_POLICIES:
@@ -210,6 +214,8 @@ class FtlCore:
         self.personality = personality
         self.name = name
         self.stats = stats if stats is not None else DeviceStats()
+        #: Optional span tracer for flush/GC timeline spans.
+        self.tracer = tracer
         self.flush_linger_us = flush_linger_us
         self.gc_reserve_blocks = gc_reserve_blocks
         self.gc_victim_policy = gc_victim_policy
@@ -311,6 +317,9 @@ class FtlCore:
                     # through a GC stall.)
                     yield self._dirty.wait()
                 continue
+            tracer = self.tracer
+            trace = tracer is not None and tracer.wants("flush")
+            started = self.env.now if trace else 0.0
             yield from self.block_allowance(for_gc=False)
             block = self.write_stream.next_slot()
             if len(self.pool) < self.gc_threshold_blocks:
@@ -320,6 +329,12 @@ class FtlCore:
             )
             self.personality.commit_flush(batch, block, page)
             self.buffer.drain(batch.payload_bytes)
+            if trace:
+                tracer.complete(
+                    "flush", "flush.program", "flush",
+                    self.env.now - started,
+                    args={"bytes": batch.payload_bytes, "block": block},
+                )
 
     def drain(self) -> Generator[Event, None, None]:
         """Wait until all accepted writes reach flash."""
@@ -347,6 +362,13 @@ class FtlCore:
             yield self._space.wait()
         if started is not None:
             self.stats.allowance_stall_us += self.env.now - started
+            tracer = self.tracer
+            if tracer is not None and tracer.wants("gc"):
+                tracer.complete(
+                    "stall", "allowance.stall", "gc",
+                    self.env.now - started,
+                    args={"for_gc": for_gc},
+                )
 
     def gc_page_benefit(self, block_index: int) -> int:
         """Pages freed net of pages consumed by relocating ``block_index``."""
@@ -398,6 +420,18 @@ class FtlCore:
             self.stats.foreground_gc_runs += 1
         self.stats.gc_events.append((self.env.now, foreground))
         self.stats.gc_victims.append(victim)
+        tracer = self.tracer
+        trace = tracer is not None and tracer.wants("gc")
+        collect_started = self.env.now
+        if trace:
+            tracer.instant(
+                "gc", "gc.select", "gc",
+                args={
+                    "victim": victim,
+                    "benefit_pages": self.gc_page_benefit(victim),
+                    "foreground": foreground,
+                },
+            )
 
         live = self.personality.gc_census(victim)
         pages = sorted({item.page for item in live})
@@ -451,3 +485,13 @@ class FtlCore:
         self.stats.gc_relocated_bytes += relocated_bytes
         self.stats.gc_erased_blocks += 1
         self._space.notify_all()
+        if trace:
+            tracer.complete(
+                "gc", "gc.collect", "gc",
+                self.env.now - collect_started,
+                args={
+                    "victim": victim,
+                    "relocated_bytes": relocated_bytes,
+                    "foreground": foreground,
+                },
+            )

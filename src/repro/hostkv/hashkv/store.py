@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Generator, Optional, Set, Tuple
+from typing import Deque, Dict, Generator, Optional, Set
 
 from repro.api.block import BlockDeviceAPI
 from repro.errors import ConfigurationError, DeviceFullError, KeyNotFoundError

@@ -91,6 +91,10 @@ class LSMStore:
         self.config = config or LSMConfig()
         self.component = component
         self._cpu = fs.block_api.driver.cpu
+        #: The device stack's tracer: memtable flushes and compactions
+        #: appear as host-category spans on the same timeline as the
+        #: block I/O they generate.
+        self.tracer = fs.block_api.device.tracer
         self.memtable = Memtable(self.config.memtable_bytes)
         self._immutables: List[Memtable] = []
         self.levels: List[List[SSTable]] = [
@@ -349,6 +353,7 @@ class LSMStore:
                 continue
             immutable = self._immutables[0]
             entries = immutable.entries()
+            flush_started = self.env.now
             if entries:
                 table = SSTable(0, entries, self.config.block_bytes)
                 self._cpu.charge(
@@ -359,6 +364,12 @@ class LSMStore:
                 self.levels[0].append(table)
             self._immutables.pop(0)
             self.flushes_run += 1
+            if self.tracer.wants("host"):
+                self.tracer.complete(
+                    f"{self.component}.flush", "memtable.flush", "host",
+                    self.env.now - flush_started,
+                    args={"entries": len(entries)},
+                )
             wal_name = self._wal_file_name(
                 self._wal_generation - len(self._immutables) - 1
             )
@@ -392,6 +403,7 @@ class LSMStore:
 
     def _run_compaction(self, task: CompactionTask) -> Generator[Event, None, None]:
         self.compactions_run += 1
+        compact_started = self.env.now
         inputs = task.upper_inputs + task.lower_inputs
         for table in inputs:
             yield from self.fs.read(table.name, 0, max(1, table.data_bytes))
@@ -433,6 +445,17 @@ class LSMStore:
             self.cache.drop_table(table.sst_id)
             yield from self.fs.unlink(table.name)
         self._unstall.notify_all()
+        if self.tracer.wants("host"):
+            self.tracer.complete(
+                f"{self.component}.compact", "compaction", "host",
+                self.env.now - compact_started,
+                args={
+                    "inputs": len(inputs),
+                    "outputs": len(outputs),
+                    "entries": task.input_entries,
+                    "output_level": task.output_level,
+                },
+            )
 
     # ------------------------------------------------------------------
     # observability and priming

@@ -146,6 +146,9 @@ class RunResult:
     #: Device telemetry delta over the measured phase — the same
     #: DeviceStats struct regardless of which personality ran underneath.
     device_stats: Optional[DeviceStats] = None
+    #: Per-op-type latency attribution (``LatencyBreakdown.summary()``)
+    #: when the device ran with op tracing enabled; ``None`` otherwise.
+    trace_summary: Optional[dict] = None
 
     @property
     def elapsed_us(self) -> float:
@@ -211,6 +214,16 @@ def drive_workload(
     result.bandwidth.finish(env.now)
     if stats_before is not None:
         result.device_stats = device.stats.delta(stats_before)
+    tracer = getattr(device, "tracer", None)
+    if tracer is not None and tracer.enabled and tracer.wants("op"):
+        from repro.metrics.attribution import LatencyBreakdown
+
+        result.trace_summary = LatencyBreakdown.from_records(
+            tracer.collector.records(),
+            pid=tracer.pid,
+            since_us=result.started_us,
+            name=name,
+        ).summary()
     return result
 
 

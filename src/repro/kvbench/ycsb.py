@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.errors import WorkloadError
 from repro.kvbench.distributions import ZipfianGenerator

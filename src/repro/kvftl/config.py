@@ -134,6 +134,6 @@ class KVSSDConfig:
             raise ConfigurationError("gc_reserve_blocks must be >= 1")
         if self.gc_victim_policy not in ("greedy", "cost_benefit"):
             raise ConfigurationError(
-                f"gc_victim_policy must be 'greedy' or 'cost_benefit', "
+                "gc_victim_policy must be 'greedy' or 'cost_benefit', "
                 f"got {self.gc_victim_policy!r}"
             )

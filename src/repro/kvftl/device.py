@@ -59,6 +59,7 @@ from repro.kvftl.merge import MergeEngine
 from repro.kvftl.population import KeyScheme, PrimedPopulation
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
+from repro.trace.tracer import NULL_SPAN, Tracer
 from repro.units import KIB, ceil_div
 
 
@@ -99,17 +100,25 @@ class KVSSD:
         timing: Optional[FlashTiming] = None,
         config: Optional[KVSSDConfig] = None,
         name: str = "kv-ssd",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.env = env
         self.name = name
         self.config = config or KVSSDConfig()
         self.timing = timing or FlashTiming()
         self.stats = DeviceStats()
+        #: Span tracer shared by the whole stack below this device; a
+        #: disabled singleton when tracing is off, so API layers can
+        #: always call ``device.tracer.op(...)``.
+        self.tracer = tracer if tracer is not None else Tracer.disabled()
+        self.tracer.bind(env)
         #: Legacy views kept for tooling: counters and space books both
         #: live on the unified ``stats`` struct now.
         self.counters = self.stats
         self.space = self.stats
-        self.array = FlashArray(env, geometry, self.timing, stats=self.stats)
+        self.array = FlashArray(
+            env, geometry, self.timing, stats=self.stats, tracer=self.tracer
+        )
         self.usable_page = usable_page_bytes(geometry.page_bytes, self.config)
 
         # -- index region carved out of the array ------------------------
@@ -171,6 +180,7 @@ class KVSSD:
             user_capacity_bytes=self.user_capacity_bytes,
             gc_victim_policy=self.config.gc_victim_policy,
             stats=self.stats,
+            tracer=self.tracer,
             name=name,
         )
         self.pool = self.core.pool
@@ -214,30 +224,34 @@ class KVSSD:
     # ------------------------------------------------------------------
 
     def store(
-        self, key: bytes, value_bytes: int, ncommands: int = 1
+        self, key: bytes, value_bytes: int, ncommands: int = 1, span=NULL_SPAN
     ) -> Generator[Event, None, None]:
         """Store (insert or update) a pair; completes at buffer admission.
 
         ``ncommands`` is the number of NVMe commands the host needed to
         convey the request (2 for keys above the inline limit, Fig. 8);
-        each costs one round of interface processing.
+        each costs one round of interface processing.  ``span`` is the
+        operation's root trace span; every suspension point below sits in
+        one of its phases, so the attribution buckets tile the latency.
         """
         validate_key(key, self.config)
         validate_value_size(value_bytes, self.config)
         layout = layout_blob(
             len(key), value_bytes, self.array.geometry.page_bytes, self.config
         )
-        yield from self.controller.serve(
-            self.config.host_interface_us * ncommands
-            + self.config.store_controller_us
-        )
-        if layout.is_split:
-            # Splitting and offset-pointer management per extra fragment.
+        with span.phase("controller"):
             yield from self.controller.serve(
-                self.config.split_fragment_us * (layout.data_fragments - 1)
+                self.config.host_interface_us * ncommands
+                + self.config.store_controller_us
             )
-        yield from self.index_managers.serve(self.config.store_index_us)
-        yield from self.merge.backpressure()
+            if layout.is_split:
+                # Splitting and offset-pointer management per extra fragment.
+                yield from self.controller.serve(
+                    self.config.split_fragment_us * (layout.data_fragments - 1)
+                )
+        with span.phase("index"):
+            yield from self.index_managers.serve(self.config.store_index_us)
+            yield from self.merge.backpressure()
 
         if self._find_live(key) is None:
             if self.live_kvps >= self.max_kvps:
@@ -285,10 +299,12 @@ class KVSSD:
         self._records[key] = record
         self.stats.record_store(len(key), value_bytes, layout.footprint_bytes)
         for frag_index, nbytes in enumerate(layout.fragments):
-            yield from self.buffer.admit(nbytes)
-            yield from self.controller.serve(
-                self.config.buffer_copy_us_per_kib * nbytes / KIB
-            )
+            with span.phase("buffer"):
+                yield from self.buffer.admit(nbytes)
+            with span.phase("controller"):
+                yield from self.controller.serve(
+                    self.config.buffer_copy_us_per_kib * nbytes / KIB
+                )
             self._pack_queue.append(
                 _QueuedFragment(key, frag_index, nbytes, record.sequence, self.env.now)
             )
@@ -300,20 +316,22 @@ class KVSSD:
         self.stats.host_write_bytes += len(key) + value_bytes
 
     def retrieve(
-        self, key: bytes, ncommands: int = 1
+        self, key: bytes, ncommands: int = 1, span=NULL_SPAN
     ) -> Generator[Event, None, int]:
         """Retrieve a pair; returns the value size.  Timed process."""
         validate_key(key, self.config)
-        yield from self.controller.serve(
-            self.config.host_interface_us * ncommands
-            + self.config.retrieve_controller_us
-        )
-        yield from self.index_managers.serve(self.config.retrieve_index_us)
-        found = self._find_live(key)
-        if not self.bloom.maybe_present(key, found is not None):
-            raise KeyNotFoundError(f"key {key!r} not stored (bloom negative)")
-        for _ in range(self.index.lookup_flash_reads(key)):
-            yield from self.merge.index_page_read()
+        with span.phase("controller"):
+            yield from self.controller.serve(
+                self.config.host_interface_us * ncommands
+                + self.config.retrieve_controller_us
+            )
+        with span.phase("index"):
+            yield from self.index_managers.serve(self.config.retrieve_index_us)
+            found = self._find_live(key)
+            if not self.bloom.maybe_present(key, found is not None):
+                raise KeyNotFoundError(f"key {key!r} not stored (bloom negative)")
+            for _ in range(self.index.lookup_flash_reads(key)):
+                yield from self.merge.index_page_read()
         if found is None:
             raise KeyNotFoundError(f"key {key!r} not stored")
 
@@ -323,7 +341,8 @@ class KVSSD:
             procs = []
             for frag_index, location in enumerate(record.locations):
                 if location is None:
-                    yield from self.controller.serve(self.config.buffer_read_us)
+                    with span.phase("controller"):
+                        yield from self.controller.serve(self.config.buffer_read_us)
                     continue
                 block, page = location
                 procs.append(
@@ -332,46 +351,56 @@ class KVSSD:
                     )
                 )
             if procs:
-                yield self.env.all_of(procs)
+                with span.phase("flash"):
+                    yield self.env.all_of(procs)
             value_bytes = record.value_bytes
         else:
             population, index = payload
             block, page = population.location_of(index)
-            yield from self.array.read(block, page, population.footprint_bytes)
+            with span.phase("flash"):
+                yield from self.array.read(block, page, population.footprint_bytes)
             value_bytes = population.value_bytes
         self.stats.host_reads += 1
         self.stats.host_read_bytes += value_bytes
         return value_bytes
 
     def exist(
-        self, key: bytes, ncommands: int = 1
+        self, key: bytes, ncommands: int = 1, span=NULL_SPAN
     ) -> Generator[Event, None, bool]:
         """Membership query (timed); no data page access."""
         validate_key(key, self.config)
-        yield from self.controller.serve(self.config.host_interface_us * ncommands)
-        yield from self.index_managers.serve(self.config.exist_index_us)
-        found = self._find_live(key) is not None
-        if not self.bloom.maybe_present(key, found):
-            return False
-        for _ in range(self.index.lookup_flash_reads(key)):
-            yield from self.merge.index_page_read()
+        with span.phase("controller"):
+            yield from self.controller.serve(
+                self.config.host_interface_us * ncommands
+            )
+        with span.phase("index"):
+            yield from self.index_managers.serve(self.config.exist_index_us)
+            found = self._find_live(key) is not None
+            if not self.bloom.maybe_present(key, found):
+                return False
+            for _ in range(self.index.lookup_flash_reads(key)):
+                yield from self.merge.index_page_read()
         return found
 
     def delete(
-        self, key: bytes, ncommands: int = 1
+        self, key: bytes, ncommands: int = 1, span=NULL_SPAN
     ) -> Generator[Event, None, None]:
         """Delete a pair (timed)."""
         validate_key(key, self.config)
-        yield from self.controller.serve(self.config.host_interface_us * ncommands)
-        yield from self.index_managers.serve(self.config.delete_index_us)
-        found = self._find_live(key)
-        if not self.bloom.maybe_present(key, found is not None):
-            raise KeyNotFoundError(f"key {key!r} not stored (bloom negative)")
-        for _ in range(self.index.lookup_flash_reads(key)):
-            yield from self.merge.index_page_read()
-        if found is None:
-            raise KeyNotFoundError(f"key {key!r} not stored")
-        yield from self.merge.backpressure()
+        with span.phase("controller"):
+            yield from self.controller.serve(
+                self.config.host_interface_us * ncommands
+            )
+        with span.phase("index"):
+            yield from self.index_managers.serve(self.config.delete_index_us)
+            found = self._find_live(key)
+            if not self.bloom.maybe_present(key, found is not None):
+                raise KeyNotFoundError(f"key {key!r} not stored (bloom negative)")
+            for _ in range(self.index.lookup_flash_reads(key)):
+                yield from self.merge.index_page_read()
+            if found is None:
+                raise KeyNotFoundError(f"key {key!r} not stored")
+            yield from self.merge.backpressure()
         self._invalidate_live(key, found)
         self.index.note_delete()
         self.iterators.note_delete(key)
@@ -379,7 +408,8 @@ class KVSSD:
         self.merge.kick_if_dirty()
 
     def iterate(
-        self, prefix4: bytes, limit: int = 1024, ncommands: int = 1
+        self, prefix4: bytes, limit: int = 1024, ncommands: int = 1,
+        span=NULL_SPAN,
     ) -> Generator[Event, None, List[bytes]]:
         """Open an iterator over keys sharing a 4-byte prefix (timed).
 
@@ -393,15 +423,17 @@ class KVSSD:
             )
         if limit < 1:
             raise ConfigurationError(f"iterator limit must be >= 1, got {limit}")
-        yield from self.controller.serve(
-            self.config.host_interface_us * ncommands
-        )
-        yield from self.index_managers.serve(self.config.exist_index_us)
-        count = self.iterators.bucket_count(prefix4)
-        # Bucket pages hold ~page/64B key entries each.
-        keys_per_page = max(1, self.array.geometry.page_bytes // 64)
-        for _ in range(ceil_div(max(count, 1), keys_per_page)):
-            yield from self.merge.index_page_read()
+        with span.phase("controller"):
+            yield from self.controller.serve(
+                self.config.host_interface_us * ncommands
+            )
+        with span.phase("index"):
+            yield from self.index_managers.serve(self.config.exist_index_us)
+            count = self.iterators.bucket_count(prefix4)
+            # Bucket pages hold ~page/64B key entries each.
+            keys_per_page = max(1, self.array.geometry.page_bytes // 64)
+            for _ in range(ceil_div(max(count, 1), keys_per_page)):
+                yield from self.merge.index_page_read()
         matches: List[bytes] = [
             key for key in self._records if key[:4] == prefix4
         ]

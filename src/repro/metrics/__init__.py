@@ -1,5 +1,6 @@
 """Measurement instruments: latency, bandwidth, CPU, space, device counters."""
 
+from repro.metrics.attribution import LatencyBreakdown
 from repro.metrics.bandwidth import BandwidthPoint, BandwidthTracker
 from repro.metrics.counters import DeviceCounters
 from repro.metrics.cpu import CpuAccountant, CpuReport
@@ -17,6 +18,7 @@ __all__ = [
     "CpuAccountant",
     "CpuReport",
     "DeviceCounters",
+    "LatencyBreakdown",
     "LatencyRecorder",
     "LatencySummary",
     "SpaceAccountant",

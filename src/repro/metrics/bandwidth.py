@@ -54,7 +54,7 @@ class BandwidthTracker:
         """Report a completion of ``nbytes`` at simulation time ``timestamp_us``."""
         if timestamp_us < self._last_time:
             raise ValueError(
-                f"bandwidth completions must be time-ordered "
+                "bandwidth completions must be time-ordered "
                 f"({timestamp_us} < {self._last_time})"
             )
         self._last_time = timestamp_us

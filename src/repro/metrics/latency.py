@@ -24,6 +24,7 @@ class LatencySummary:
     p50: float
     p90: float
     p99: float
+    p999: float
     stddev: float
 
     def as_dict(self) -> Dict[str, float]:
@@ -36,6 +37,7 @@ class LatencySummary:
             "p50": self.p50,
             "p90": self.p90,
             "p99": self.p99,
+            "p999": self.p999,
             "stddev": self.stddev,
         }
 
@@ -112,6 +114,7 @@ class LatencyRecorder:
             p50=percentile(samples, 0.50),
             p90=percentile(samples, 0.90),
             p99=percentile(samples, 0.99),
+            p999=percentile(samples, 0.999),
             stddev=math.sqrt(variance),
         )
 

@@ -57,11 +57,15 @@ class KernelDeviceDriver:
         cpu: CpuAccountant,
         costs: DriverCosts = DriverCosts(),
         name: str = "kdd",
+        tracer: object = None,
     ) -> None:
         self.env = env
         self.cpu = cpu
         self.costs = costs
         self.name = name
+        #: Optional span tracer; submissions/completions land on the
+        #: driver's own timeline track.
+        self.tracer = tracer
         self._submission_path = Resource(env, 1, name=f"{name}.submit")
         self.commands_submitted = 0
 
@@ -79,12 +83,23 @@ class KernelDeviceDriver:
             self.costs.cpu_sync_extra_us if sync else 0.0
         )
         self.cpu.charge(component, ncommands * per_command)
+        tracer = self.tracer
+        trace = tracer is not None and tracer.wants("nvme")
+        started = self.env.now if trace else 0.0
         for _ in range(ncommands):
             yield from self._submission_path.serve(self.costs.submit_us)
         self.commands_submitted += ncommands
+        if trace:
+            tracer.complete(
+                self.name, "submit", "nvme", self.env.now - started,
+                args={"n": ncommands, "sync": sync},
+            )
 
     def complete(self, ncommands: int, component: str) -> None:
         """Account completion handling for ``ncommands`` (CPU only)."""
         if ncommands < 1:
             raise ConfigurationError(f"ncommands must be >= 1, got {ncommands}")
         self.cpu.charge(component, ncommands * self.costs.cpu_complete_us)
+        tracer = self.tracer
+        if tracer is not None and tracer.wants("nvme"):
+            tracer.instant(self.name, "complete", "nvme", args={"n": ncommands})

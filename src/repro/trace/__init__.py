@@ -1,0 +1,33 @@
+"""Span tracing, latency attribution, and Perfetto export."""
+
+from repro.trace.tracer import (
+    BUCKETS,
+    CATEGORIES,
+    NULL_SPAN,
+    Span,
+    SpanRecord,
+    TraceCollector,
+    TraceConfig,
+    Tracer,
+)
+from repro.trace.export import (
+    chrome_trace_events,
+    format_breakdown,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "BUCKETS",
+    "CATEGORIES",
+    "NULL_SPAN",
+    "Span",
+    "SpanRecord",
+    "TraceCollector",
+    "TraceConfig",
+    "Tracer",
+    "chrome_trace_events",
+    "format_breakdown",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

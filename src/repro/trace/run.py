@@ -1,0 +1,173 @@
+"""Traced experiment runs: one workload, both personalities, one trace.
+
+:func:`run_traced` replays a figure-shaped workload against a KV-SSD rig
+(tracer pid 1) and a block-SSD rig (tracer pid 2) that share a single
+:class:`~repro.trace.tracer.TraceCollector`, so the exported Perfetto
+document shows the two firmware personalities as two processes on one
+timeline and the attribution tables can be compared side by side.
+
+Scenarios mirror the stress each paper figure isolates — occupancy for
+Fig. 3, split values for Fig. 4, foreground GC for Fig. 6, long keys for
+Fig. 8 — scaled down to tracing-friendly op counts.  They are *not* the
+figure experiments themselves (:mod:`repro.core.figures` owns those);
+they exist to produce representative span trees quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.experiment import build_block_rig, build_kv_rig, lab_geometry
+from repro.errors import ConfigurationError
+from repro.kvbench.runner import RunResult, execute_workload
+from repro.kvbench.workload import Pattern, WorkloadSpec, generate_operations
+from repro.kvftl.population import KeyScheme
+from repro.metrics.attribution import LatencyBreakdown
+from repro.trace.tracer import TraceCollector, TraceConfig, Tracer
+
+
+@dataclass(frozen=True)
+class TraceScenario:
+    """A figure-shaped workload to run under tracing."""
+
+    fig: str
+    #: What the scenario stresses, shown by the CLI.
+    focus: str
+    value_bytes: int = 4096
+    #: Fraction of device capacity primed before the measured phase.
+    fill_fraction: float = 0.3
+    op: str = "mixed"
+    pattern: Pattern = Pattern.UNIFORM
+    read_fraction: float = 0.5
+    queue_depth: int = 8
+    blocks_per_plane: int = 24
+    n_ops: int = 1500
+    key_digits: int = 12
+
+
+SCENARIOS: Dict[str, TraceScenario] = {
+    s.fig: s
+    for s in (
+        TraceScenario("fig2", "end-to-end latency, 4KiB mixed ops",
+                      queue_depth=1),
+        TraceScenario("fig3", "high-occupancy index pressure",
+                      fill_fraction=0.85, queue_depth=1,
+                      blocks_per_plane=32),
+        TraceScenario("fig4", "split values (64KiB) at depth",
+                      value_bytes=64 * 1024, fill_fraction=0.15,
+                      queue_depth=16),
+        TraceScenario("fig5", "small-value packing bandwidth",
+                      value_bytes=1024, fill_fraction=0.0, op="insert",
+                      queue_depth=16),
+        TraceScenario("fig6", "foreground GC under sustained updates",
+                      fill_fraction=0.8, op="update", queue_depth=16,
+                      blocks_per_plane=8),
+        TraceScenario("fig7", "tiny values (512B), space overheads",
+                      value_bytes=512, fill_fraction=0.0, op="insert",
+                      queue_depth=4),
+        TraceScenario("fig8", "long keys (multi-command submissions)",
+                      fill_fraction=0.0, op="insert", queue_depth=16,
+                      key_digits=60),
+    )
+}
+
+
+@dataclass
+class TraceReport:
+    """Everything one traced run produced."""
+
+    fig: str
+    scenario: TraceScenario
+    collector: TraceCollector
+    #: runs["kv-ssd"] / runs["block-ssd"] — the measured-phase results.
+    runs: Dict[str, RunResult] = field(default_factory=dict)
+    #: Per-personality latency attribution over the measured phase.
+    breakdowns: Dict[str, LatencyBreakdown] = field(default_factory=dict)
+
+
+def _fill_kvps(device, value_bytes: int, scheme: KeyScheme,
+               fraction: float) -> int:
+    """Pair count filling ``fraction`` of the KV device's page capacity."""
+    from repro.kvftl.blob import blobs_per_page
+
+    geometry = device.array.geometry
+    per_page = blobs_per_page(
+        scheme.key_bytes, value_bytes, geometry.page_bytes, device.config,
+    )
+    margin_blocks = device.config.stream_width + 16
+    fill_blocks = device.free_block_count() - margin_blocks
+    return int(
+        fill_blocks * geometry.pages_per_block * per_page * fraction
+    )
+
+
+def run_traced(
+    fig: str = "fig6",
+    n_ops: Optional[int] = None,
+    max_spans: int = 1 << 20,
+    sample_every: int = 1,
+) -> TraceReport:
+    """Run ``fig``'s scenario on both personalities under one collector."""
+    scenario = SCENARIOS.get(fig)
+    if scenario is None:
+        raise ConfigurationError(
+            f"no trace scenario for {fig!r}; choose from "
+            f"{sorted(SCENARIOS)}"
+        )
+    n_ops = scenario.n_ops if n_ops is None else n_ops
+    config = TraceConfig(sample_every=sample_every, max_spans=max_spans)
+    collector = TraceCollector(max_spans)
+    geometry = lab_geometry(scenario.blocks_per_plane)
+    scheme = KeyScheme(prefix=b"key-", digits=scenario.key_digits)
+    report = TraceReport(fig, scenario, collector)
+
+    # -- KV personality (pid 1) -----------------------------------------
+    tracer = Tracer(config, collector, pid=1, process_name="kv-ssd")
+    rig = build_kv_rig(geometry, tracer=tracer)
+    population = n_ops
+    if scenario.fill_fraction > 0.0:
+        population = max(
+            n_ops,
+            _fill_kvps(rig.device, scenario.value_bytes, scheme,
+                       scenario.fill_fraction),
+        )
+        rig.device.fast_fill(population, scenario.value_bytes, scheme)
+    spec = WorkloadSpec(
+        n_ops=n_ops,
+        op=scenario.op,
+        pattern=scenario.pattern,
+        population=population,
+        key_scheme=scheme,
+        value_bytes=scenario.value_bytes,
+        read_fraction=scenario.read_fraction,
+        seed=47,
+    )
+    report.runs["kv-ssd"] = execute_workload(
+        rig.env, rig.adapter, generate_operations(spec),
+        queue_depth=scenario.queue_depth, name=f"trace.{fig}.kv",
+        stop_after_us=60e6,
+    )
+    report.breakdowns["kv-ssd"] = LatencyBreakdown.from_records(
+        collector.records(), pid=1,
+        since_us=report.runs["kv-ssd"].started_us, name="kv-ssd",
+    )
+
+    # -- block personality (pid 2), same sizes and order ----------------
+    tracer = Tracer(config, collector, pid=2, process_name="block-ssd")
+    rig = build_block_rig(geometry, tracer=tracer)
+    adapter = rig.adapter(scenario.value_bytes)
+    if scenario.fill_fraction > 0.0:
+        rig.device.prime_sequential_fill(
+            int(rig.device.n_units * scenario.fill_fraction)
+        )
+    report.runs["block-ssd"] = execute_workload(
+        rig.env, adapter, generate_operations(spec),
+        queue_depth=scenario.queue_depth, name=f"trace.{fig}.block",
+        stop_after_us=60e6,
+    )
+    report.breakdowns["block-ssd"] = LatencyBreakdown.from_records(
+        collector.records(), pid=2,
+        since_us=report.runs["block-ssd"].started_us, name="block-ssd",
+    )
+    return report

@@ -1,6 +1,5 @@
 """Integration tests for the host APIs and experiment rigs."""
 
-import pytest
 
 from repro.core.experiment import (
     build_block_rig,
@@ -9,7 +8,6 @@ from repro.core.experiment import (
     build_lsm_rig,
     lab_geometry,
 )
-from repro.errors import KeyNotFoundError
 from repro.kvbench.runner import execute_workload
 from repro.kvbench.workload import Pattern, WorkloadSpec, generate_operations
 from repro.kvftl.population import KeyScheme

@@ -10,7 +10,7 @@ from repro.kvbench.distributions import (
     uniform_indices,
 )
 from repro.kvbench.report import format_series, format_table, sparkline
-from repro.kvbench.runner import RunResult, drive_workload
+from repro.kvbench.runner import drive_workload
 from repro.kvbench.workload import (
     OpType,
     Pattern,

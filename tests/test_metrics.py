@@ -40,6 +40,21 @@ def test_latency_recorder_summary():
     assert summary.p50 == pytest.approx(20.0)
 
 
+def test_latency_summary_p999_tracks_extreme_tail():
+    recorder = LatencyRecorder("tail")
+    # 999 fast samples and one very slow one: p99 stays low while p999
+    # reaches into the outlier.
+    for _ in range(999):
+        recorder.record(10.0, "read")
+    recorder.record(10_000.0, "read")
+    summary = recorder.summary("read")
+    assert summary.p99 == pytest.approx(10.0)
+    assert summary.p999 > summary.p99
+    as_dict = summary.as_dict()
+    assert as_dict["p999"] == pytest.approx(summary.p999)
+    assert as_dict["p99"] == pytest.approx(summary.p99)
+
+
 def test_latency_recorder_labels_and_merge():
     recorder = LatencyRecorder()
     recorder.record(5.0, "read")

@@ -258,3 +258,166 @@ def test_determinism_two_runs_identical():
         return trace
 
     assert build_and_run() == build_and_run()
+
+
+def test_all_of_with_already_processed_child():
+    env = Environment()
+
+    def fast(env):
+        yield env.timeout(1.0)
+        return "fast"
+
+    def slow(env):
+        yield env.timeout(4.0)
+        return "slow"
+
+    def parent(env):
+        done = env.process(fast(env))
+        pending = env.process(slow(env))
+        # Let the fast child complete (and its callbacks drain) first.
+        yield env.timeout(2.0)
+        assert done.processed
+        values = yield env.all_of([done, pending])
+        return values
+
+    process = env.process(parent(env))
+    env.run()
+    assert process.value == ["fast", "slow"]
+    assert env.now == 4.0
+
+
+def test_any_of_with_already_processed_child_fires_immediately():
+    env = Environment()
+
+    def fast(env):
+        yield env.timeout(1.0)
+        return "fast"
+
+    def slow(env):
+        yield env.timeout(50.0)
+        return "slow"
+
+    def parent(env):
+        done = env.process(fast(env))
+        env.process(slow(env))
+        yield env.timeout(2.0)
+        first = yield env.any_of([done, env.process(slow(env))])
+        return first, env.now
+
+    process = env.process(parent(env))
+    env.run()
+    # The condition resolves from the already-processed child without
+    # waiting on the still-running one.
+    assert process.value == ("fast", 2.0)
+
+
+def test_all_of_fails_when_a_child_fails():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1.0)
+        raise ValueError("child broke")
+
+    def healthy(env):
+        yield env.timeout(3.0)
+        return "ok"
+
+    def parent(env):
+        try:
+            yield env.all_of(
+                [env.process(failing(env)), env.process(healthy(env))]
+            )
+        except ValueError as exc:
+            return f"caught: {exc}"
+        return "no error"
+
+    process = env.process(parent(env))
+    env.run()
+    assert process.value == "caught: child broke"
+
+
+def test_any_of_fails_when_first_child_fails():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1.0)
+        raise ValueError("first to fire")
+
+    def healthy(env):
+        yield env.timeout(3.0)
+        return "ok"
+
+    def parent(env):
+        try:
+            yield env.any_of(
+                [env.process(failing(env)), env.process(healthy(env))]
+            )
+        except ValueError as exc:
+            return f"caught: {exc}"
+        return "no error"
+
+    process = env.process(parent(env))
+    env.run()
+    assert process.value == "caught: first to fire"
+
+
+def test_all_of_with_already_failed_processed_child():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1.0)
+        raise ValueError("early failure")
+
+    def parent(env):
+        # A waiter keeps the failure from surfacing as unhandled while
+        # the child's callbacks drain.
+        child = env.process(failing(env))
+        try:
+            yield child
+        except ValueError:
+            pass
+        assert child.processed and child.failed
+        try:
+            yield env.all_of([child, env.timeout(5.0)])
+        except ValueError as exc:
+            return f"caught: {exc}"
+        return "no error"
+
+    process = env.process(parent(env))
+    env.run()
+    assert process.value == "caught: early failure"
+
+
+def test_determinism_event_order_with_composites():
+    """Two identical runs process events in the exact same order."""
+
+    def build_and_run():
+        env = Environment()
+        trace = []
+
+        def worker(env, tag, delay, steps):
+            for step in range(steps):
+                yield env.timeout(delay)
+                trace.append((env.now, tag, step))
+            return tag
+
+        def coordinator(env):
+            group_a = [
+                env.process(worker(env, f"a{i}", 1.0 + i * 0.5, 3))
+                for i in range(3)
+            ]
+            first = yield env.any_of(group_a)
+            trace.append((env.now, "any", first))
+            rest = yield env.all_of(group_a)
+            trace.append((env.now, "all", tuple(rest)))
+
+        env.process(coordinator(env))
+        # Same-time events must also tie-break identically.
+        env.process(worker(env, "b", 1.0, 4))
+        env.run()
+        return trace, env.processed_events
+
+    first_trace, first_count = build_and_run()
+    second_trace, second_count = build_and_run()
+    assert first_trace == second_trace
+    assert first_count == second_count

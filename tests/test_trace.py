@@ -1,0 +1,368 @@
+"""Tests for the span-tracing subsystem and latency attribution."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import build_block_rig, build_kv_rig, lab_geometry
+from repro.core.model import device_stats_summary
+from repro.errors import ConfigurationError
+from repro.kvbench.runner import execute_workload
+from repro.kvbench.workload import WorkloadSpec, generate_operations
+from repro.kvftl.population import KeyScheme
+from repro.metrics.attribution import LatencyBreakdown
+from repro.sim.engine import Environment
+from repro.trace.export import (
+    chrome_trace_events,
+    format_breakdown,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.trace.tracer import (
+    BUCKETS,
+    NULL_SPAN,
+    SpanRecord,
+    TraceCollector,
+    TraceConfig,
+    Tracer,
+)
+
+SCHEME = KeyScheme(prefix=b"key-", digits=12)
+
+
+def _traced_tracer(max_spans=1 << 18, **config_kwargs):
+    config = TraceConfig(**config_kwargs)
+    return Tracer(config, TraceCollector(max_spans), pid=1,
+                  process_name="test-device")
+
+
+def _kv_run(tracer, n_ops=400, queue_depth=4, value_bytes=4096):
+    rig = build_kv_rig(lab_geometry(blocks_per_plane=16), tracer=tracer)
+    rig.device.fast_fill(n_ops, value_bytes, SCHEME)
+    spec = WorkloadSpec(
+        n_ops=n_ops, op="mixed", population=n_ops, key_scheme=SCHEME,
+        value_bytes=value_bytes, read_fraction=0.4, seed=5,
+    )
+    run = execute_workload(
+        rig.env, rig.adapter, generate_operations(spec),
+        queue_depth=queue_depth, name="traced",
+    )
+    return rig, run
+
+
+def _block_run(tracer, n_ops=400, queue_depth=4, io_bytes=4096):
+    rig = build_block_rig(lab_geometry(blocks_per_plane=16), tracer=tracer)
+    adapter = rig.adapter(io_bytes)
+    rig.device.prime_sequential_fill(rig.device.n_units // 4)
+    spec = WorkloadSpec(
+        n_ops=n_ops, op="mixed", population=n_ops, key_scheme=SCHEME,
+        value_bytes=io_bytes, read_fraction=0.4, seed=5,
+    )
+    run = execute_workload(
+        rig.env, adapter, generate_operations(spec),
+        queue_depth=queue_depth, name="traced",
+    )
+    return rig, run
+
+
+# -- configuration and collector ---------------------------------------------
+
+
+def test_trace_config_validation():
+    with pytest.raises(ConfigurationError):
+        TraceConfig(sample_every=0)
+    with pytest.raises(ConfigurationError):
+        TraceConfig(max_spans=0)
+    with pytest.raises(ConfigurationError):
+        TraceConfig(categories=("op", "nonsense"))
+
+
+def test_collector_ring_drops_oldest():
+    collector = TraceCollector(max_spans=3)
+    for i in range(5):
+        collector.append(SpanRecord(1, "t", f"r{i}", "op", float(i), 1.0))
+    assert len(collector) == 3
+    assert collector.dropped == 2
+    assert [r.name for r in collector.records()] == ["r2", "r3", "r4"]
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer.disabled()
+    tracer.bind(Environment())
+    assert not tracer.enabled
+    span = tracer.op("store")
+    assert span is NULL_SPAN
+    assert not span
+    with span.phase("flash"):
+        pass
+    span.finish(anything=1)
+    assert len(tracer.collector) == 0
+
+
+def test_unbound_tracer_is_inert_and_bind_is_idempotent():
+    tracer = _traced_tracer()
+    assert not tracer.enabled
+    assert tracer.op("store") is NULL_SPAN
+    env = Environment()
+    tracer.bind(env)
+    tracer.bind(env)  # same env: fine
+    assert tracer.enabled
+    with pytest.raises(ConfigurationError):
+        tracer.bind(Environment())
+
+
+def test_op_sampling_keeps_one_in_n():
+    tracer = _traced_tracer(sample_every=3)
+    tracer.bind(Environment())
+    spans = [tracer.op("store") for _ in range(9)]
+    kept = [span for span in spans if span]
+    assert len(kept) == 3
+    for span in kept:
+        span.finish()
+
+
+def test_category_filtering():
+    tracer = _traced_tracer(categories=("flash",))
+    tracer.bind(Environment())
+    assert tracer.wants("flash")
+    assert not tracer.wants("op")
+    assert tracer.op("store") is NULL_SPAN
+
+
+# -- span mechanics -----------------------------------------------------------
+
+
+def test_span_phases_accumulate_and_sum_to_duration():
+    env = Environment()
+    tracer = _traced_tracer()
+    tracer.bind(env)
+
+    def workload(env):
+        span = tracer.op("store")
+        with span.phase("nvme"):
+            yield env.timeout(2.0)
+        with span.phase("flash"):
+            yield env.timeout(5.0)
+        with span.phase("flash"):
+            yield env.timeout(1.0)
+        span.finish(tag="x")
+
+    env.process(workload(env))
+    env.run()
+    ops = [r for r in tracer.collector.records() if r.cat == "op"]
+    assert len(ops) == 1
+    record = ops[0]
+    assert record.dur == pytest.approx(8.0)
+    assert record.args["components"] == {"nvme": 2.0, "flash": 6.0}
+    assert record.args["tag"] == "x"
+    assert sum(record.args["components"].values()) == pytest.approx(record.dur)
+
+
+def test_span_lanes_give_concurrent_ops_distinct_tracks():
+    env = Environment()
+    tracer = _traced_tracer()
+    tracer.bind(env)
+
+    def op_process(env, delay):
+        span = tracer.op("store")
+        with span.phase("flash"):
+            yield env.timeout(delay)
+        span.finish()
+
+    env.process(op_process(env, 5.0))
+    env.process(op_process(env, 5.0))
+    env.run()
+    tracks = {r.track for r in tracer.collector.records() if r.cat == "op"}
+    assert len(tracks) == 2
+
+
+# -- end-to-end attribution ---------------------------------------------------
+
+
+@pytest.mark.parametrize("personality", ["kv", "block"])
+def test_op_components_sum_to_measured_latency(personality):
+    tracer = _traced_tracer()
+    runner = _kv_run if personality == "kv" else _block_run
+    _, run = runner(tracer)
+    assert run.failed_ops == 0
+    ops = [r for r in tracer.collector.records() if r.cat == "op"]
+    assert len(ops) >= run.completed_ops
+    for record in ops:
+        components = record.args["components"]
+        assert set(components) <= set(BUCKETS)
+        assert sum(components.values()) == pytest.approx(record.dur, abs=1e-6)
+
+
+@pytest.mark.parametrize("personality", ["kv", "block"])
+def test_flash_spans_agree_with_device_stats(personality):
+    """Trace flash-timeline time equals DeviceStats.flash_busy_us exactly."""
+    tracer = _traced_tracer()
+    runner = _kv_run if personality == "kv" else _block_run
+    rig, run = runner(tracer, queue_depth=1)
+    breakdown = LatencyBreakdown.from_records(
+        tracer.collector.records(), pid=tracer.pid
+    )
+    flash_span_us = breakdown.category_time_us("flash")
+    assert flash_span_us > 0.0
+    assert flash_span_us == pytest.approx(
+        rig.device.stats.flash_busy_us, abs=1e-6
+    )
+    summary = device_stats_summary(rig.device.stats)
+    assert summary["flash_busy_ms"] == pytest.approx(
+        flash_span_us / 1000.0, abs=1e-6
+    )
+    # The measured-phase delta agrees too (the run started at t=0 here).
+    assert run.device_stats.flash_busy_us == pytest.approx(
+        rig.device.stats.flash_busy_us
+    )
+
+
+def test_run_result_trace_summary_wired():
+    tracer = _traced_tracer()
+    _, run = _kv_run(tracer, n_ops=120)
+    assert run.trace_summary is not None
+    assert set(run.trace_summary) == {"store", "retrieve"}
+    for stats in run.trace_summary.values():
+        assert stats["count"] > 0
+        assert stats["p999_us"] >= stats["p99_us"]
+        assert sum(stats["components_us"].values()) == pytest.approx(
+            stats["mean_us"], rel=1e-9
+        )
+
+
+def test_run_result_trace_summary_absent_without_tracer():
+    _, run = _kv_run(None, n_ops=50)
+    assert run.trace_summary is None
+
+
+# -- aggregation --------------------------------------------------------------
+
+
+def test_latency_breakdown_aggregates_records():
+    records = [
+        SpanRecord(1, "op.0", "store", "op", 0.0, 10.0,
+                   {"components": {"nvme": 4.0, "flash": 6.0}}),
+        SpanRecord(1, "op.0", "store", "op", 10.0, 20.0,
+                   {"components": {"nvme": 5.0, "flash": 15.0}}),
+        SpanRecord(2, "op.0", "store", "op", 0.0, 99.0,
+                   {"components": {"nvme": 99.0}}),  # other device
+        SpanRecord(1, "die0", "read", "flash", 0.0, 7.0),
+        SpanRecord(1, "gc", "gc.collect", "gc", 0.0, 3.0),
+    ]
+    breakdown = LatencyBreakdown.from_records(records, pid=1)
+    assert breakdown.op_types() == ["store"]
+    assert breakdown.count("store") == 2
+    assert breakdown.mean_total_us("store") == pytest.approx(15.0)
+    assert breakdown.mean_components_us("store") == pytest.approx(
+        {"nvme": 4.5, "flash": 10.5}
+    )
+    assert breakdown.category_time_us("flash") == pytest.approx(7.0)
+    assert breakdown.category_time_us("gc") == pytest.approx(3.0)
+    summary = breakdown.summary()
+    assert summary["store"]["count"] == 2
+
+
+def test_latency_breakdown_since_us_filters_prefill():
+    records = [
+        SpanRecord(1, "op.0", "store", "op", 0.0, 10.0,
+                   {"components": {"flash": 10.0}}),
+        SpanRecord(1, "op.0", "store", "op", 100.0, 30.0,
+                   {"components": {"flash": 30.0}}),
+    ]
+    breakdown = LatencyBreakdown.from_records(records, pid=1, since_us=50.0)
+    assert breakdown.count("store") == 1
+    assert breakdown.mean_total_us("store") == pytest.approx(30.0)
+
+
+def test_format_breakdown_components_sum_column():
+    records = [
+        SpanRecord(1, "op.0", "store", "op", 0.0, 10.0,
+                   {"components": {"nvme": 4.0, "flash": 6.0}}),
+    ]
+    table = format_breakdown(LatencyBreakdown.from_records(records))
+    assert "store" in table
+    for header in ("mean us", "p99 us", "p999 us", "sum us"):
+        assert header in table
+
+
+# -- export -------------------------------------------------------------------
+
+
+def test_chrome_trace_structure(tmp_path):
+    tracer = _traced_tracer()
+    _kv_run(tracer, n_ops=60)
+    document = to_chrome_trace(tracer.collector)
+    events = document["traceEvents"]
+    assert document["displayTimeUnit"] == "ms"
+    assert document["otherData"]["dropped_spans"] == 0
+    phases = {event["ph"] for event in events}
+    assert "X" in phases and "M" in phases
+    process_meta = [e for e in events
+                    if e["ph"] == "M" and e["name"] == "process_name"]
+    assert {e["args"]["name"] for e in process_meta} == {"test-device"}
+    thread_meta = [e for e in events
+                   if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert {e["args"]["name"] for e in thread_meta} >= {"die0", "ch0"}
+    for event in events:
+        if event["ph"] == "X":
+            assert event["dur"] > 0.0
+        elif event["ph"] == "i":
+            assert event["s"] == "t"
+    # Round-trips through JSON and the file writer.
+    out = tmp_path / "trace.json"
+    count = write_chrome_trace(tracer.collector, str(out))
+    assert count == len(events)
+    loaded = json.loads(out.read_text())
+    assert len(loaded["traceEvents"]) == count
+
+
+def test_chrome_trace_tids_stable_per_track():
+    collector = TraceCollector(64)
+    collector.process_names[1] = "dev"
+    for ts in (0.0, 5.0):
+        collector.append(SpanRecord(1, "die0", "read", "flash", ts, 1.0))
+    collector.append(SpanRecord(1, "ch0", "xfer", "flash", 2.0, 1.0))
+    events = [e for e in chrome_trace_events(collector) if e["ph"] == "X"]
+    die_tids = {e["tid"] for e in events if e["name"] == "read"}
+    ch_tids = {e["tid"] for e in events if e["name"] == "xfer"}
+    assert len(die_tids) == 1
+    assert len(ch_tids) == 1
+    assert die_tids != ch_tids
+
+
+# -- scenario runner and CLI --------------------------------------------------
+
+
+def test_run_traced_covers_both_personalities():
+    from repro.trace.run import run_traced
+
+    report = run_traced(fig="fig2", n_ops=80)
+    assert set(report.runs) == {"kv-ssd", "block-ssd"}
+    assert set(report.breakdowns) == {"kv-ssd", "block-ssd"}
+    for personality, run in report.runs.items():
+        assert run.completed_ops > 0
+        breakdown = report.breakdowns[personality]
+        assert breakdown.op_types()
+    pids = {r.pid for r in report.collector.records()}
+    assert pids == {1, 2}
+    assert report.collector.process_names == {1: "kv-ssd", 2: "block-ssd"}
+
+
+def test_run_traced_rejects_unknown_fig():
+    from repro.trace.run import run_traced
+
+    with pytest.raises(ConfigurationError):
+        run_traced(fig="fig99")
+
+
+def test_cli_trace_command_writes_perfetto_json(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "trace.json"
+    exit_code = main(["trace", "--fig", "fig2", "--out", str(out)])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "kv-ssd" in captured and "block-ssd" in captured
+    assert "sum us" in captured
+    document = json.loads(out.read_text())
+    assert document["traceEvents"]
