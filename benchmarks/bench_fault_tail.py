@@ -1,0 +1,95 @@
+"""Tail-latency inflation under statistical fault injection.
+
+Sweeps the fault-rate knob over the same mixed workload on both firmware
+personalities (KV-SSD and block-SSD) and writes ``BENCH_fault_tail.json``
+with latency percentiles per (personality, rate) plus each point's
+inflation over its own rate-0 baseline.  The interesting number is the
+p99/p999 inflation: read-retry recovery is invisible at the median but
+stretches the tail, the classic reliability-vs-latency trade.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fault_tail.py [--n-ops N]
+        [--rates R,R,...] [--seed S] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.faults.run import DEFAULT_RATES, run_fault_sweep
+
+
+def _inflation(value: float, baseline: float) -> float:
+    return round(value / baseline, 3) if baseline > 0 else 0.0
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-ops", type=int, default=1500)
+    parser.add_argument(
+        "--rates", default=",".join(f"{r:g}" for r in DEFAULT_RATES),
+        help="comma-separated statistical fault rates (include 0 for "
+             "the baseline)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_fault_tail.json")
+    args = parser.parse_args(argv)
+
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    if 0.0 not in rates:
+        rates.insert(0, 0.0)
+    points = run_fault_sweep(rates=rates, n_ops=args.n_ops, seed=args.seed)
+
+    baselines = {
+        p.personality: p.latency_summary()
+        for p in points if p.rate == 0.0
+    }
+    results = []
+    for point in points:
+        latency = point.latency_summary()
+        base = baselines[point.personality]
+        stats = point.stats
+        entry = {
+            "personality": point.personality,
+            "rate": point.rate,
+            "completed_ops": point.run.completed_ops,
+            "failed_ops": point.run.failed_ops,
+            "latency_us": {k: round(v, 2) for k, v in latency.items()},
+            "inflation": {
+                k: _inflation(latency[k], base[k])
+                for k in ("mean", "p50", "p99", "p999")
+            },
+            "recovery": {
+                "read_retries": stats.read_retries,
+                "corrected_reads": stats.corrected_reads,
+                "uncorrectable_reads": stats.uncorrectable_reads,
+                "program_fails": stats.program_fails,
+                "erase_fails": stats.erase_fails,
+                "reallocations": stats.reallocations,
+                "retired_blocks": stats.retired_blocks,
+                "recovery_us": round(stats.recovery_us, 2),
+            },
+            "injected": point.injected,
+            "read_only": point.read_only,
+        }
+        results.append(entry)
+        print(f"{point.personality:>10} rate {point.rate:<6g} "
+              f"p99 {latency['p99']:9.1f}us "
+              f"({entry['inflation']['p99']:.2f}x) "
+              f"retries {stats.read_retries:4d} "
+              f"uncorr {stats.uncorrectable_reads:3d} "
+              f"retired {stats.retired_blocks:2d}")
+
+    document = {"n_ops": args.n_ops, "seed": args.seed, "rates": rates,
+                "results": results}
+    with open(args.out, "w", encoding="ascii") as handle:
+        json.dump(document, handle, indent=2)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

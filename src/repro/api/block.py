@@ -4,6 +4,10 @@ Wraps a :class:`~repro.blockftl.device.BlockSSD` with the same driver
 model the KV API uses, so host CPU and submission-path costs are charged
 identically and device comparisons are apples-to-apples.  Block commands
 always fit one NVMe submission entry.
+
+Device errors surface as the :mod:`repro.errors` exceptions with an
+``nvme_status`` attribute attached (the completion-queue status a real
+driver would report), after the driver accounts the error completion.
 """
 
 from __future__ import annotations
@@ -11,6 +15,8 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.blockftl.device import BlockSSD
+from repro.errors import DeviceError
+from repro.nvme.command import status_for_error
 from repro.nvme.driver import KernelDeviceDriver
 from repro.sim.engine import Environment, Event
 
@@ -34,6 +40,12 @@ class BlockDeviceAPI:
         self.sync = sync
         self.component = component
 
+    def _fail(self, exc: DeviceError) -> None:
+        """Account an error completion and tag the exception with it."""
+        status = status_for_error(exc)
+        exc.nvme_status = status
+        self.driver.complete(1, self.component, status=status)
+
     def write(self, offset: int, nbytes: int) -> Generator[Event, None, None]:
         """Direct write (timed host-to-completion process)."""
         span = self.device.tracer.op("write")
@@ -41,7 +53,11 @@ class BlockDeviceAPI:
             self.driver.cpu.charge(self.component, self.LIBRARY_CPU_US)
             with span.phase("nvme"):
                 yield from self.driver.submit(1, self.sync, self.component)
-            yield from self.device.write(offset, nbytes, span=span)
+            try:
+                yield from self.device.write(offset, nbytes, span=span)
+            except DeviceError as exc:
+                self._fail(exc)
+                raise
             self.driver.complete(1, self.component)
         finally:
             span.finish(nbytes=nbytes)
@@ -53,7 +69,11 @@ class BlockDeviceAPI:
             self.driver.cpu.charge(self.component, self.LIBRARY_CPU_US)
             with span.phase("nvme"):
                 yield from self.driver.submit(1, self.sync, self.component)
-            yield from self.device.read(offset, nbytes, span=span)
+            try:
+                yield from self.device.read(offset, nbytes, span=span)
+            except DeviceError as exc:
+                self._fail(exc)
+                raise
             self.driver.complete(1, self.component)
         finally:
             span.finish(nbytes=nbytes)
@@ -65,7 +85,11 @@ class BlockDeviceAPI:
             self.driver.cpu.charge(self.component, self.LIBRARY_CPU_US)
             with span.phase("nvme"):
                 yield from self.driver.submit(1, self.sync, self.component)
-            yield from self.device.deallocate(offset, nbytes, span=span)
+            try:
+                yield from self.device.deallocate(offset, nbytes, span=span)
+            except DeviceError as exc:
+                self._fail(exc)
+                raise
             self.driver.complete(1, self.component)
         finally:
             span.finish(nbytes=nbytes)

@@ -10,14 +10,20 @@ Both synchronous and asynchronous modes are provided, as in the real API;
 "async" here means the caller may hold many operations in flight (the
 workload runner manages queue depth), while "sync" additionally pays
 blocking-wait CPU per command.
+
+Device errors surface as the :mod:`repro.errors` exceptions with an
+``nvme_status`` attribute attached — the completion-queue status code a
+real driver would report (:class:`~repro.nvme.command.NvmeStatus`) — and
+the driver accounts the error completion before the exception propagates.
 """
 
 from __future__ import annotations
 
 from typing import Generator
 
+from repro.errors import DeviceError
 from repro.kvftl.device import KVSSD
-from repro.nvme.command import commands_for_key
+from repro.nvme.command import commands_for_key, status_for_error
 from repro.nvme.driver import KernelDeviceDriver
 from repro.sim.engine import Environment, Event
 
@@ -52,14 +58,24 @@ class KVStoreAPI:
             yield from self.driver.submit(ncommands, self.sync, self.component)
         return ncommands
 
+    def _fail(self, exc: DeviceError) -> None:
+        """Account an error completion and tag the exception with it."""
+        status = status_for_error(exc)
+        exc.nvme_status = status
+        self.driver.complete(1, self.component, status=status)
+
     def store(self, key: bytes, value_bytes: int) -> Generator[Event, None, None]:
         """Store a pair (timed host-to-completion process)."""
         span = self.device.tracer.op("store")
         try:
             ncommands = yield from self._preamble(key, span)
-            yield from self.device.store(
-                key, value_bytes, ncommands=ncommands, span=span
-            )
+            try:
+                yield from self.device.store(
+                    key, value_bytes, ncommands=ncommands, span=span
+                )
+            except DeviceError as exc:
+                self._fail(exc)
+                raise
             self.driver.complete(1, self.component)
         finally:
             span.finish(key_bytes=len(key), value_bytes=value_bytes)
@@ -69,9 +85,13 @@ class KVStoreAPI:
         span = self.device.tracer.op("retrieve")
         try:
             ncommands = yield from self._preamble(key, span)
-            value_bytes = yield from self.device.retrieve(
-                key, ncommands=ncommands, span=span
-            )
+            try:
+                value_bytes = yield from self.device.retrieve(
+                    key, ncommands=ncommands, span=span
+                )
+            except DeviceError as exc:
+                self._fail(exc)
+                raise
             self.driver.complete(1, self.component)
         finally:
             span.finish(key_bytes=len(key))
@@ -82,7 +102,11 @@ class KVStoreAPI:
         span = self.device.tracer.op("delete")
         try:
             ncommands = yield from self._preamble(key, span)
-            yield from self.device.delete(key, ncommands=ncommands, span=span)
+            try:
+                yield from self.device.delete(key, ncommands=ncommands, span=span)
+            except DeviceError as exc:
+                self._fail(exc)
+                raise
             self.driver.complete(1, self.component)
         finally:
             span.finish(key_bytes=len(key))
@@ -92,9 +116,13 @@ class KVStoreAPI:
         span = self.device.tracer.op("exist")
         try:
             ncommands = yield from self._preamble(key, span)
-            present = yield from self.device.exist(
-                key, ncommands=ncommands, span=span
-            )
+            try:
+                present = yield from self.device.exist(
+                    key, ncommands=ncommands, span=span
+                )
+            except DeviceError as exc:
+                self._fail(exc)
+                raise
             self.driver.complete(1, self.component)
         finally:
             span.finish(key_bytes=len(key))
@@ -107,9 +135,13 @@ class KVStoreAPI:
             self.driver.cpu.charge(self.component, self.LIBRARY_CPU_US)
             with span.phase("nvme"):
                 yield from self.driver.submit(1, self.sync, self.component)
-            keys = yield from self.device.iterate(
-                prefix4, limit, ncommands=1, span=span
-            )
+            try:
+                keys = yield from self.device.iterate(
+                    prefix4, limit, ncommands=1, span=span
+                )
+            except DeviceError as exc:
+                self._fail(exc)
+                raise
             self.driver.complete(1, self.component)
         finally:
             span.finish()

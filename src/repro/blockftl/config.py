@@ -18,6 +18,7 @@ streams.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.units import KIB, MIB
@@ -48,6 +49,9 @@ class BlockSSDConfig:
     gc_reserve_blocks: int = 4
     #: GC victim scoring: ``greedy`` or ``cost_benefit`` (ablation knob).
     gc_victim_policy: str = "greedy"
+    #: Grown-defect budget before the device degrades to read-only;
+    #: ``None`` scales with the geometry (see FtlCore).
+    spare_block_limit: Optional[int] = None
 
     # -- controller service times (microseconds) --------------------------
     #: Fixed command handling (NVMe decode, DMA setup).
@@ -89,6 +93,8 @@ class BlockSSDConfig:
             raise ConfigurationError("segment cache parameters must be >= 1")
         if self.gc_reserve_blocks < 1:
             raise ConfigurationError("gc_reserve_blocks must be >= 1")
+        if self.spare_block_limit is not None and self.spare_block_limit < 1:
+            raise ConfigurationError("spare_block_limit must be >= 1")
         if not 0.0 < self.gc_threshold_fraction < 1.0:
             raise ConfigurationError("gc_threshold_fraction must be in (0, 1)")
         if self.gc_victim_policy not in ("greedy", "cost_benefit"):

@@ -34,6 +34,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 from repro.blockftl.config import BlockSSDConfig
 from repro.blockftl.mapping import UNMAPPED, PageMap, SegmentCache
 from repro.errors import AddressError, ConfigurationError
+from repro.faults.model import FaultInjector
 from repro.flash.geometry import Geometry
 from repro.flash.nand import FlashArray
 from repro.flash.timing import FlashTiming
@@ -63,6 +64,7 @@ class BlockSSD:
         config: Optional[BlockSSDConfig] = None,
         name: str = "block-ssd",
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.env = env
         self.name = name
@@ -77,7 +79,8 @@ class BlockSSD:
         #: Legacy view kept for tooling; counters live on ``stats`` now.
         self.counters = self.stats
         self.array = FlashArray(
-            env, geometry, self.timing, stats=self.stats, tracer=self.tracer
+            env, geometry, self.timing, stats=self.stats, tracer=self.tracer,
+            faults=faults,
         )
 
         raw_bytes = geometry.capacity_bytes
@@ -105,6 +108,7 @@ class BlockSSD:
             page_payload_bytes=self.slots_per_page * self.map_unit,
             user_capacity_bytes=self.user_capacity_bytes,
             gc_victim_policy=self.config.gc_victim_policy,
+            spare_block_limit=self.config.spare_block_limit,
             stats=self.stats,
             tracer=self.tracer,
             name=name,
@@ -168,6 +172,7 @@ class BlockSSD:
         point sits in one of its attribution phases.
         """
         self._check_range(offset, nbytes)
+        self.core.ensure_writable()
         with span.phase("controller"):
             yield from self.controller.serve(self.config.host_interface_us)
         pieces = self._split_units(offset, nbytes)
@@ -196,8 +201,9 @@ class BlockSSD:
             if partial and slot_id != UNMAPPED and unit not in self._pending:
                 # Sub-unit update of flash-resident data: read-modify-write.
                 block, page, _slot = self.pagemap.unflatten(slot_id)
-                with span.phase("flash"):
-                    yield from self.array.read(block, page, self.map_unit)
+                yield from self.core.read_page(
+                    block, page, self.map_unit, span=span
+                )
 
         # Phases 2+3, chunked: admit buffer space for a group of units,
         # then commit that group without suspension points.  Chunking keeps
@@ -282,10 +288,14 @@ class BlockSSD:
         if page_reads:
             procs = [
                 self.env.process(
-                    self.array.read(block, page, length), name=f"{self.name}.rd"
+                    self.core.read_page(block, page, length),
+                    name=f"{self.name}.rd",
                 )
                 for (block, page), length in page_reads.items()
             ]
+            # Parallel page reads share the op's flash phase, so any
+            # retry time lands there too (per-page recovery attribution
+            # would require splitting the all_of wait).
             with span.phase("flash"):
                 yield self.env.all_of(procs)
         self.stats.host_reads += 1

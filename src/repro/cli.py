@@ -152,6 +152,38 @@ def _print_trace(args: argparse.Namespace) -> None:
               "spans; raise max_spans for a complete timeline")
 
 
+def _print_faults(args: argparse.Namespace) -> None:
+    # Lazy import, like trace: figure subcommands never pay for it.
+    from repro.faults.run import run_fault_sweep
+
+    try:
+        rates = [float(r) for r in args.fault_rates.split(",") if r.strip()]
+    except ValueError:
+        raise SystemExit(f"bad --fault-rates value: {args.fault_rates!r}")
+    points = run_fault_sweep(rates=rates, n_ops=args.n_ops,
+                             seed=args.fault_seed)
+    rows = []
+    for point in points:
+        latency = point.latency_summary()
+        stats = point.stats
+        rows.append([
+            point.personality, f"{point.rate:g}",
+            point.run.completed_ops, point.run.failed_ops,
+            round(latency["p50"], 1), round(latency["p99"], 1),
+            stats.read_retries, stats.corrected_reads,
+            stats.uncorrectable_reads, stats.program_fails,
+            stats.retired_blocks,
+            "RO" if point.read_only else "rw",
+        ])
+    print(format_table(
+        ["system", "rate", "ops", "fail", "p50 us", "p99 us",
+         "retry", "corr", "uncorr", "pfail", "retired", "mode"],
+        rows,
+    ))
+    print("\nrate = per-read corrected-error probability; rarer events "
+          "(uncorrectable, program/erase fail) scale down from it")
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig2": _print_fig2,
     "fig3": _print_fig3,
@@ -175,10 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all", "trace"],
+        choices=sorted(_COMMANDS) + ["all", "trace", "faults"],
         help=(
-            "which figure (or 'headline'/'all') to regenerate, or 'trace' "
-            "to record a span trace of a figure-shaped workload"
+            "which figure (or 'headline'/'all') to regenerate, 'trace' "
+            "to record a span trace of a figure-shaped workload, or "
+            "'faults' to sweep statistical fault rates on both "
+            "personalities"
         ),
     )
     parser.add_argument(
@@ -197,17 +231,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="trace.json", metavar="PATH",
         help="trace: Perfetto JSON output path (default: trace.json)",
     )
+    parser.add_argument(
+        "--fault-rates", default="0,1e-3,1e-2,5e-2", metavar="R,R,...",
+        help="faults: comma-separated statistical rates to sweep "
+             "(default: 0,1e-3,1e-2,5e-2)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=7,
+        help="faults: fault-injector RNG seed (default: 7)",
+    )
     return parser
 
 
 def main(argv: List[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.experiment == "trace":
-        # Excluded from 'all': tracing is a diagnostic pass that writes a
-        # file, not a figure regeneration.
-        names = ["trace"]
-        commands = {"trace": _print_trace}
+    if args.experiment in ("trace", "faults"):
+        # Excluded from 'all': these are diagnostic passes (a trace file,
+        # a reliability sweep), not figure regenerations.
+        names = [args.experiment]
+        commands = {"trace": _print_trace, "faults": _print_faults}
     elif args.experiment == "all":
         names = sorted(_COMMANDS)
         commands = _COMMANDS

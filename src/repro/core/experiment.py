@@ -23,6 +23,7 @@ from repro.api.block import BlockDeviceAPI
 from repro.api.kvs import KVStoreAPI
 from repro.blockftl.config import BlockSSDConfig
 from repro.blockftl.device import BlockSSD
+from repro.faults.model import FaultConfig, FaultInjector
 from repro.flash.geometry import Geometry
 from repro.flash.timing import FlashTiming
 from repro.hostkv.fs.ext4 import SimFileSystem
@@ -121,16 +122,20 @@ def build_kv_rig(
     sync: bool = False,
     host_cores: int = 16,
     tracer: Optional[Tracer] = None,
+    fault_config: Optional[FaultConfig] = None,
 ) -> KVRig:
     """Fresh environment with a KV-SSD behind the KVS API.
 
     An unbound ``tracer`` is bound to the rig's fresh environment and
-    threaded through the device, core, flash array, and driver.
+    threaded through the device, core, flash array, and driver.  A
+    ``fault_config`` builds the device its own seeded
+    :class:`~repro.faults.model.FaultInjector` (``None`` = perfect flash).
     """
     env = Environment()
     cpu = CpuAccountant(env, host_cores)
+    faults = FaultInjector(fault_config) if fault_config is not None else None
     device = KVSSD(env, geometry or lab_geometry(), timing, config,
-                   tracer=tracer)
+                   tracer=tracer, faults=faults)
     driver = KernelDeviceDriver(env, cpu, driver_costs, tracer=device.tracer)
     api = KVStoreAPI(env, device, driver, sync=sync)
     return KVRig(env, cpu, driver, device, api, KVSSDAdapter(api))
@@ -144,12 +149,18 @@ def build_block_rig(
     sync: bool = False,
     host_cores: int = 16,
     tracer: Optional[Tracer] = None,
+    fault_config: Optional[FaultConfig] = None,
 ) -> BlockRig:
-    """Fresh environment with a block SSD behind direct I/O."""
+    """Fresh environment with a block SSD behind direct I/O.
+
+    ``fault_config`` builds the device its own seeded fault injector
+    (``None`` = perfect flash).
+    """
     env = Environment()
     cpu = CpuAccountant(env, host_cores)
+    faults = FaultInjector(fault_config) if fault_config is not None else None
     device = BlockSSD(env, geometry or lab_geometry(), timing, config,
-                      tracer=tracer)
+                      tracer=tracer, faults=faults)
     driver = KernelDeviceDriver(env, cpu, driver_costs, tracer=device.tracer)
     api = BlockDeviceAPI(env, device, driver, sync=sync)
     return BlockRig(env, cpu, driver, device, api)
@@ -182,12 +193,18 @@ def build_hash_rig(
     timing: Optional[FlashTiming] = None,
     host_cores: int = 16,
     tracer: Optional[Tracer] = None,
+    fault_config: Optional[FaultConfig] = None,
 ) -> HashRig:
-    """Fresh environment with the Aerospike stand-in on raw block."""
+    """Fresh environment with the Aerospike stand-in on raw block.
+
+    ``fault_config`` builds the device its own seeded fault injector
+    (``None`` = perfect flash).
+    """
     env = Environment()
     cpu = CpuAccountant(env, host_cores)
+    faults = FaultInjector(fault_config) if fault_config is not None else None
     device = BlockSSD(env, geometry or lab_geometry(), timing, block_config,
-                      tracer=tracer)
+                      tracer=tracer, faults=faults)
     driver = KernelDeviceDriver(env, cpu, tracer=device.tracer)
     api = BlockDeviceAPI(env, device, driver)
     store = HashKVStore(env, api, hash_config)

@@ -49,5 +49,30 @@ class AddressError(DeviceError):
     """A physical or logical address is out of range for the device."""
 
 
+class MediaError(DeviceError):
+    """Base class for NAND media failures (injected by the fault layer)."""
+
+    def __init__(self, message: str, block: int = -1, page: int = -1) -> None:
+        super().__init__(message)
+        self.block = block
+        self.page = page
+
+
+class UncorrectableReadError(MediaError):
+    """A page read stayed uncorrectable through every retry step."""
+
+
+class ProgramFailError(MediaError):
+    """A page program failed its status check; the data never landed."""
+
+
+class EraseFailError(MediaError):
+    """A block erase failed; the block must be retired."""
+
+
+class DeviceReadOnlyError(DeviceError):
+    """Grown defects exhausted the spare blocks; writes are refused."""
+
+
 class WorkloadError(ReproError):
     """A workload specification cannot be generated as requested."""

@@ -1,0 +1,17 @@
+"""Deterministic NAND fault injection and the reliability model."""
+
+from repro.faults.model import (
+    FAULT_KINDS,
+    FaultConfig,
+    FaultInjector,
+    READ_OK,
+    ReadResult,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultConfig",
+    "FaultInjector",
+    "READ_OK",
+    "ReadResult",
+]

@@ -1,0 +1,166 @@
+"""Fault-injection demo runs: one workload, both personalities, one sweep.
+
+:func:`run_fault_sweep` replays the same mixed workload against a KV-SSD
+rig and a block-SSD rig at a series of statistical fault rates, so the
+CLI (``repro faults``) and the tail-latency bench can show how media
+errors inflate latency percentiles and which recovery counters moved.
+
+A single ``rate`` knob scales the whole :class:`FaultConfig` through
+:func:`fault_profile` — corrected read errors dominate (they are by far
+the most common NAND event), with uncorrectable reads, program fails,
+and erase fails orders of magnitude rarer, roughly the proportions the
+reliability literature reports for enterprise TLC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.experiment import build_block_rig, build_kv_rig, lab_geometry
+from repro.errors import ConfigurationError
+from repro.faults.model import FaultConfig
+from repro.ftl.core import DeviceStats
+from repro.kvbench.runner import RunResult, execute_workload
+from repro.kvbench.workload import WorkloadSpec, generate_operations
+from repro.kvftl.population import KeyScheme
+
+#: Default statistical rates the sweep visits (0 = perfect flash).
+DEFAULT_RATES = (0.0, 1e-3, 1e-2, 5e-2)
+
+#: Simulated-time bound per measured phase (a heavily faulted run must
+#: terminate even if recovery stalls it).
+STOP_AFTER_US = 60e6
+
+
+def fault_profile(rate: float, seed: int = 1) -> Optional[FaultConfig]:
+    """Scale the single ``rate`` knob into a full fault configuration.
+
+    ``rate`` is the per-read probability of a *corrected* (retryable)
+    error; rarer events derive from it.  ``0.0`` returns ``None`` —
+    perfect flash, the injector never built.
+    """
+    if rate < 0.0 or rate > 0.2:
+        raise ConfigurationError(
+            f"fault rate must be in [0, 0.2], got {rate}"
+        )
+    if rate == 0.0:
+        return None
+    return FaultConfig(
+        seed=seed,
+        read_corrected_prob=rate,
+        read_uncorrectable_prob=rate / 50.0,
+        program_fail_prob=rate / 10.0,
+        erase_fail_prob=rate / 100.0,
+    )
+
+
+@dataclass
+class FaultPoint:
+    """One (personality, rate) cell of the sweep."""
+
+    personality: str
+    rate: float
+    run: RunResult
+    #: Device telemetry delta over the measured phase.
+    stats: DeviceStats
+    #: Injector decision counts by fault kind (empty at rate 0).
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: Whether the device degraded to read-only during the run.
+    read_only: bool = False
+
+    def latency_summary(self) -> Dict[str, float]:
+        return self.run.latency.summary().as_dict()
+
+
+def _run_kv_point(rate: float, seed: int, n_ops: int, value_bytes: int,
+                  blocks_per_plane: int, queue_depth: int,
+                  workload_seed: int) -> FaultPoint:
+    rig = build_kv_rig(
+        lab_geometry(blocks_per_plane),
+        fault_config=fault_profile(rate, seed),
+    )
+    scheme = KeyScheme(prefix=b"key-", digits=12)
+    rig.device.fast_fill(n_ops, value_bytes, scheme)
+    spec = WorkloadSpec(
+        n_ops=n_ops,
+        op="mixed",
+        population=n_ops,
+        key_scheme=scheme,
+        value_bytes=value_bytes,
+        read_fraction=0.5,
+        seed=workload_seed,
+    )
+    run = execute_workload(
+        rig.env, rig.adapter, generate_operations(spec),
+        queue_depth=queue_depth, name=f"faults.kv.{rate:g}",
+        stop_after_us=STOP_AFTER_US,
+    )
+    faults = rig.device.array.faults
+    return FaultPoint(
+        "kv-ssd", rate, run, run.device_stats,
+        injected=dict(faults.injected) if faults is not None else {},
+        read_only=rig.device.core.read_only,
+    )
+
+
+def _run_block_point(rate: float, seed: int, n_ops: int, value_bytes: int,
+                     blocks_per_plane: int, queue_depth: int,
+                     workload_seed: int) -> FaultPoint:
+    rig = build_block_rig(
+        lab_geometry(blocks_per_plane),
+        fault_config=fault_profile(rate, seed),
+    )
+    adapter = rig.adapter(value_bytes)
+    rig.device.prime_sequential_fill(
+        min(n_ops, rig.device.n_units // 2)
+    )
+    spec = WorkloadSpec(
+        n_ops=n_ops,
+        op="mixed",
+        population=n_ops,
+        key_scheme=KeyScheme(prefix=b"key-", digits=12),
+        value_bytes=value_bytes,
+        read_fraction=0.5,
+        seed=workload_seed,
+    )
+    run = execute_workload(
+        rig.env, adapter, generate_operations(spec),
+        queue_depth=queue_depth, name=f"faults.block.{rate:g}",
+        stop_after_us=STOP_AFTER_US,
+    )
+    faults = rig.device.array.faults
+    return FaultPoint(
+        "block-ssd", rate, run, run.device_stats,
+        injected=dict(faults.injected) if faults is not None else {},
+        read_only=rig.device.core.read_only,
+    )
+
+
+def run_fault_sweep(
+    rates: Sequence[float] = DEFAULT_RATES,
+    n_ops: int = 600,
+    seed: int = 7,
+    value_bytes: int = 4096,
+    blocks_per_plane: int = 16,
+    queue_depth: int = 8,
+    workload_seed: int = 47,
+) -> List[FaultPoint]:
+    """Run the sweep; returns points ordered personality-major, rate-minor.
+
+    Every point gets a *fresh* rig (fault injection mutates wear and the
+    grown-defect list) but replays the identical operation stream, so
+    rate 0 within each personality is the clean baseline for the rest.
+    """
+    if not rates:
+        raise ConfigurationError("fault sweep needs at least one rate")
+    points: List[FaultPoint] = []
+    for rate in rates:
+        points.append(_run_kv_point(rate, seed, n_ops, value_bytes,
+                                    blocks_per_plane, queue_depth,
+                                    workload_seed))
+    for rate in rates:
+        points.append(_run_block_point(rate, seed, n_ops, value_bytes,
+                                       blocks_per_plane, queue_depth,
+                                       workload_seed))
+    return points

@@ -22,9 +22,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Generator, List
+from typing import Generator, List, Optional
 
-from repro.errors import AddressError, SimulationError
+from repro.errors import (
+    AddressError,
+    EraseFailError,
+    ProgramFailError,
+    SimulationError,
+)
+from repro.faults.model import FaultInjector, READ_OK, ReadResult
 from repro.flash.geometry import Geometry
 from repro.flash.timing import FlashTiming
 from repro.sim.engine import Environment, Event
@@ -93,6 +99,7 @@ class FlashArray:
         timing: FlashTiming,
         stats: object = None,
         tracer: object = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.env = env
         self.geometry = geometry
@@ -102,6 +109,8 @@ class FlashArray:
         self._stats = stats
         #: Optional span tracer; timed ops emit die/channel timeline spans.
         self._tracer = tracer
+        #: Optional fault injector; ``None`` models perfect flash.
+        self.faults = faults
         self._dies: List[Resource] = [
             Resource(env, capacity=1, name=f"die{i}")
             for i in range(geometry.total_dies)
@@ -211,17 +220,36 @@ class FlashArray:
     # -- timed operations ----------------------------------------------------
 
     def read(
-        self, block_index: int, page_index: int, nbytes: int
-    ) -> Generator[Event, None, None]:
+        self,
+        block_index: int,
+        page_index: int,
+        nbytes: int,
+        attempt: int = 0,
+        fault_check: bool = True,
+    ) -> Generator[Event, None, ReadResult]:
         """Read ``nbytes`` from a programmed page (timed).
 
         The die senses the full page; only ``nbytes`` cross the channel.
+        Returns a :class:`~repro.faults.model.ReadResult`; with no fault
+        injector (or ``fault_check=False``, used for regions the fault
+        model deliberately excludes) every read comes back clean.
+        ``attempt`` numbers the retry step — the recovering caller
+        (:meth:`~repro.ftl.core.FtlCore.read_page`) re-issues with
+        increasing attempts until the injector relents or retries run out.
         """
         info = self._info(block_index)
         self.geometry.check_page(block_index, page_index)
         if page_index >= info.next_page and info.state is not BlockState.CLOSED:
             raise SimulationError(
                 f"read of unprogrammed page {page_index} in block {block_index}"
+            )
+        # The fault decision happens at issue time, before any timed wait,
+        # so the injector's RNG is consumed in submission order and replays
+        # are deterministic regardless of resource contention.
+        good = True
+        if fault_check and self.faults is not None:
+            good = self.faults.read_attempt(
+                block_index, page_index, info.erase_count, attempt
             )
         nbytes = min(nbytes, self.geometry.page_bytes)
         transfer_us = self.timing.transfer_us(nbytes)
@@ -249,6 +277,9 @@ class FlashArray:
         self.counters.bytes_read += nbytes
         if self._stats is not None:
             self._stats.flash_reads += 1
+        if good and attempt == 0:
+            return READ_OK
+        return ReadResult(ok=good, retries=attempt)
 
     def program(
         self, block_index: int, nbytes: int, valid_bytes: int
@@ -258,7 +289,17 @@ class FlashArray:
         ``nbytes`` is the transfer size (normally the full page);
         ``valid_bytes`` is how much of the page holds live data for GC
         accounting.  Returns the programmed page index.
+
+        Raises :class:`~repro.errors.ProgramFailError` when the fault
+        injector fails the program's status check — after the transfer
+        and tPROG have been consumed (a real failed program costs full
+        time), with the block state unchanged so the FTL can close the
+        block and reallocate elsewhere.
         """
+        failed = False
+        if self.faults is not None:
+            info = self._info(block_index)
+            failed = self.faults.program_fails(block_index, info.erase_count)
         nbytes = min(nbytes, self.geometry.page_bytes)
         transfer_us = self.timing.transfer_us(nbytes)
         tracer = self._tracing()
@@ -279,6 +320,10 @@ class FlashArray:
                 "program", "flash", self.timing.program_us,
                 args={"block": block_index},
             )
+        if failed:
+            raise ProgramFailError(
+                f"program failed in block {block_index}", block=block_index
+            )
         page_index = self._commit_program(block_index, valid_bytes)
         self.counters.page_programs += 1
         self.counters.bytes_programmed += nbytes
@@ -287,13 +332,21 @@ class FlashArray:
         return page_index
 
     def erase(self, block_index: int) -> Generator[Event, None, None]:
-        """Erase a block (timed), returning it to the FREE state."""
+        """Erase a block (timed), returning it to the FREE state.
+
+        Raises :class:`~repro.errors.EraseFailError` when the fault
+        injector fails the erase — after tBERS has been consumed, with
+        the block left CLOSED so the FTL retires it instead of reusing it.
+        """
         info = self._info(block_index)
         if info.valid_bytes != 0:
             raise SimulationError(
                 f"erase of block {block_index} with {info.valid_bytes} valid "
                 "bytes; relocate live data first"
             )
+        failed = False
+        if self.faults is not None:
+            failed = self.faults.erase_fails(block_index, info.erase_count)
         tracer = self._tracing()
         yield from self.die_resource(block_index).serve(self.timing.erase_us)
         if self._stats is not None:
@@ -304,12 +357,33 @@ class FlashArray:
                 "erase", "flash", self.timing.erase_us,
                 args={"block": block_index},
             )
+        if failed:
+            info.state = BlockState.CLOSED
+            raise EraseFailError(
+                f"erase failed in block {block_index}", block=block_index
+            )
         info.state = BlockState.FREE
         info.next_page = 0
         info.erase_count += 1
         self.counters.block_erases += 1
         if self._stats is not None:
             self._stats.flash_erases += 1
+
+    def close_defective(self, block_index: int) -> None:
+        """Force an OPEN block CLOSED after a program failure (untimed).
+
+        Closing abandons the block's remaining free pages; allocation
+        streams notice the externally-closed block and refill the slot,
+        which is exactly the reallocation path program-fail recovery
+        needs.  Already-CLOSED blocks are accepted (a program can fail on
+        the last page of a block another writer just filled).
+        """
+        info = self._info(block_index)
+        if info.state is BlockState.FREE:
+            raise SimulationError(
+                f"block {block_index} cannot be defect-closed while FREE"
+            )
+        info.state = BlockState.CLOSED
 
     # -- aggregate views -----------------------------------------------------
 

@@ -49,10 +49,18 @@ implementing these eight hooks — not forking the engine.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional
+from typing import Deque, Generator, List, Optional, Set, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    DeviceReadOnlyError,
+    EraseFailError,
+    ProgramFailError,
+    UncorrectableReadError,
+)
+from repro.faults.model import ReadResult
 from repro.flash.nand import BlockState, FlashArray
 from repro.ftl.pool import AllocationStream, FreeBlockPool
 from repro.ftl.victim import select_victim
@@ -60,6 +68,7 @@ from repro.ftl.writebuffer import WriteBuffer
 from repro.metrics.counters import DeviceCounters
 from repro.sim.engine import Environment, Event
 from repro.sim.signal import Signal
+from repro.trace.tracer import NULL_SPAN
 from repro.units import ceil_div
 
 #: GC policies the core can dispatch to (mirrors ``ftl.victim``).
@@ -104,6 +113,23 @@ class DeviceStats(DeviceCounters):
     allowance_stall_us: float = 0.0
     #: Victim block index per GC run, aligned with ``gc_events``.
     gc_victims: List[int] = field(default_factory=list)
+    # -- reliability / recovery -------------------------------------------
+    #: Read-retry steps issued (each costs a backoff plus a re-read).
+    read_retries: int = 0
+    #: Reads that needed retries but ultimately returned good data.
+    corrected_reads: int = 0
+    #: Reads that stayed bad through every retry (host-visible media error).
+    uncorrectable_reads: int = 0
+    #: Page programs that failed their status check.
+    program_fails: int = 0
+    #: Block erases that failed (the block is retired).
+    erase_fails: int = 0
+    #: Failed programs redirected to a fresh block.
+    reallocations: int = 0
+    #: Grown-defect blocks permanently withdrawn from allocation.
+    retired_blocks: int = 0
+    #: Time spent in media-error recovery (retries, backoff, reprograms).
+    recovery_us: float = 0.0
 
     def record_store(
         self, key_bytes: int, value_bytes: int, device_bytes: int
@@ -198,6 +224,7 @@ class FtlCore:
         page_payload_bytes: int,
         user_capacity_bytes: int,
         gc_victim_policy: str = "greedy",
+        spare_block_limit: Optional[int] = None,
         stats: Optional[DeviceStats] = None,
         tracer: object = None,
         name: str = "ftl",
@@ -238,6 +265,26 @@ class FtlCore:
         # a block taken from the reserve GC itself depends on, and a wide
         # frontier can swallow the whole reserve and deadlock reclamation.
         self.gc_stream = AllocationStream(array, self.pool, 2, name=f"{name}.gc")
+
+        # -- reliability state ------------------------------------------
+        # Grown defects consume the over-provisioning spares; past this
+        # budget the device can no longer guarantee GC headroom and
+        # degrades to read-only rather than corrupting its invariants.
+        if spare_block_limit is None:
+            spare_block_limit = max(
+                gc_reserve_blocks, array.geometry.total_blocks // 64
+            )
+        if spare_block_limit < 1:
+            raise ConfigurationError("spare_block_limit must be >= 1")
+        self.spare_block_limit = spare_block_limit
+        #: Once set, every new write is refused with DeviceReadOnlyError.
+        self.read_only = False
+        #: Blocks permanently retired (mirrors ``pool.retired``).
+        self.grown_defects: Set[int] = set()
+        #: Defective blocks awaiting retirement by the GC worker (their
+        #: live data must be relocated off them first).
+        self._retire_queue: Deque[int] = deque()
+        self._retire_pending: Set[int] = set()
 
         self._dirty = Signal(env, f"{name}.dirty")
         self._space = Signal(env, f"{name}.space")
@@ -320,12 +367,9 @@ class FtlCore:
             tracer = self.tracer
             trace = tracer is not None and tracer.wants("flush")
             started = self.env.now if trace else 0.0
-            yield from self.block_allowance(for_gc=False)
-            block = self.write_stream.next_slot()
-            if len(self.pool) < self.gc_threshold_blocks:
-                self._gc_wakeup.notify_all()
-            page = yield from self.array.program(
-                block, batch.transfer_bytes, batch.payload_bytes
+            block, page = yield from self._program_slot(
+                self.write_stream, False, batch.transfer_bytes,
+                batch.payload_bytes,
             )
             self.personality.commit_flush(batch, block, page)
             self.buffer.drain(batch.payload_bytes)
@@ -340,6 +384,173 @@ class FtlCore:
         """Wait until all accepted writes reach flash."""
         while self.personality.peek_flush() is not None or self.buffer.occupied_bytes:
             yield self.env.timeout(self.flush_linger_us)
+
+    # ------------------------------------------------------------------
+    # media-error recovery
+    # ------------------------------------------------------------------
+
+    def ensure_writable(self) -> None:
+        """Refuse new writes once grown defects exhausted the spares."""
+        if self.read_only:
+            raise DeviceReadOnlyError(
+                f"{self.name}: {self.stats.retired_blocks} retired blocks "
+                f"exceed the {self.spare_block_limit}-block spare budget; "
+                "device is read-only"
+            )
+
+    def read_page(
+        self,
+        block: int,
+        page: int,
+        nbytes: int,
+        span=NULL_SPAN,
+        must_succeed: bool = True,
+    ) -> Generator[Event, None, ReadResult]:
+        """Read a page with read-retry recovery (timed).
+
+        The first attempt charges the op span's ``flash`` phase; the
+        retry loop — linearly growing backoff (re-tuned read reference
+        voltages take longer each step) plus the re-read — charges
+        ``recovery``, so a faulted operation's attribution still tiles
+        its latency.  Raises
+        :class:`~repro.errors.UncorrectableReadError` when retries run
+        out, unless ``must_succeed=False`` (GC relocation reads: data
+        content is not modeled, so collection proceeds and the failure
+        is only counted).
+        """
+        with span.phase("flash"):
+            result = yield from self.array.read(block, page, nbytes)
+        if result.ok:
+            return result
+        faults = self.array.faults
+        config = faults.config
+        started = self.env.now
+        attempt = 0
+        with span.phase("recovery"):
+            while not result.ok and attempt < config.max_read_retries:
+                attempt += 1
+                yield self.env.timeout(config.read_retry_backoff_us * attempt)
+                result = yield from self.array.read(
+                    block, page, nbytes, attempt=attempt
+                )
+        faults.finish_read(block, page)
+        elapsed = self.env.now - started
+        self.stats.read_retries += attempt
+        self.stats.recovery_us += elapsed
+        tracer = self.tracer
+        if tracer is not None and tracer.wants("recovery"):
+            tracer.complete(
+                "recovery", "read.retry", "recovery", elapsed,
+                args={"block": block, "page": page,
+                      "retries": attempt, "ok": result.ok},
+            )
+        if result.ok:
+            self.stats.corrected_reads += 1
+            return ReadResult(ok=True, retries=attempt)
+        self.stats.uncorrectable_reads += 1
+        if must_succeed:
+            raise UncorrectableReadError(
+                f"uncorrectable read at block {block} page {page} after "
+                f"{attempt} retries",
+                block=block, page=page,
+            )
+        return ReadResult(ok=False, retries=attempt)
+
+    def _program_slot(
+        self, stream: AllocationStream, for_gc: bool,
+        transfer_bytes: int, payload_bytes: int,
+    ) -> Generator[Event, None, Tuple[int, int]]:
+        """Allocate a slot and program it, reallocating on program fail.
+
+        A failed program closes the defective block (so the stream's next
+        rotation refills the slot from the pool), queues it for
+        retirement, and retries on fresh blocks.  Returns the
+        ``(block, page)`` that finally took the data.
+        """
+        attempts = 0
+        while True:
+            yield from self.block_allowance(for_gc=for_gc)
+            block = stream.next_slot()
+            if not for_gc and len(self.pool) < self.gc_threshold_blocks:
+                self._gc_wakeup.notify_all()
+            try:
+                started = self.env.now
+                page = yield from self.array.program(
+                    block, transfer_bytes, payload_bytes
+                )
+            except ProgramFailError:
+                attempts += 1
+                self.stats.program_fails += 1
+                self.stats.reallocations += 1
+                self.stats.recovery_us += self.env.now - started
+                self._mark_defective(block)
+                if attempts > self.array.geometry.total_blocks:
+                    # Every block failing means the fault model is set to
+                    # certain failure; surface loudly instead of spinning.
+                    raise
+                continue
+            return block, page
+
+    def _mark_defective(self, block: int) -> None:
+        """Close a program-failed block and queue it for retirement."""
+        self.array.close_defective(block)
+        if block not in self._retire_pending and block not in self.grown_defects:
+            self._retire_pending.add(block)
+            self._retire_queue.append(block)
+            self._gc_wakeup.notify_all()
+        tracer = self.tracer
+        if tracer is not None and tracer.wants("recovery"):
+            tracer.instant(
+                "recovery", "block.defect", "recovery", args={"block": block}
+            )
+
+    def _note_retired(self, block: int) -> None:
+        """Account a block as a grown defect; flip read-only past budget."""
+        self._retire_pending.discard(block)
+        if block in self.grown_defects:
+            return
+        self.grown_defects.add(block)
+        self.pool.retire(block)
+        self.stats.retired_blocks += 1
+        tracer = self.tracer
+        trace = tracer is not None and tracer.wants("recovery")
+        if trace:
+            tracer.instant(
+                "recovery", "block.retire", "recovery",
+                args={"block": block, "retired": self.stats.retired_blocks},
+            )
+        if not self.read_only and self.stats.retired_blocks > self.spare_block_limit:
+            self.read_only = True
+            if trace:
+                tracer.instant(
+                    "recovery", "device.read_only", "recovery",
+                    args={"retired": self.stats.retired_blocks,
+                          "spare_limit": self.spare_block_limit},
+                )
+
+    def _retire_block(self, victim: int) -> Generator[Event, None, None]:
+        """Relocate live data off a defective block, then retire it.
+
+        Runs in the GC worker ahead of regular collections; the block
+        never returns to the free pool.
+        """
+        started = self.env.now
+        yield from self._relocate_live(victim)
+        self.personality.gc_cleanup(victim)
+        if self.array.blocks[victim].valid_bytes != 0:
+            raise ConfigurationError(
+                f"defective block {victim} kept "
+                f"{self.array.blocks[victim].valid_bytes}B valid after "
+                "relocation"
+            )
+        self._note_retired(victim)
+        self.stats.recovery_us += self.env.now - started
+
+    def _gc_read(self, victim: int, page: int) -> Generator[Event, None, None]:
+        """One relocation read; uncorrectable data is counted, not fatal."""
+        yield from self.read_page(
+            victim, page, self.array.geometry.page_bytes, must_succeed=False
+        )
 
     # ------------------------------------------------------------------
     # garbage collection
@@ -376,13 +587,23 @@ class FtlCore:
         pages_needed = ceil_div(valid, self.page_payload_bytes) if valid else 0
         return self.array.geometry.pages_per_block - pages_needed
 
+    def _gc_eligible(self, block_index: int) -> bool:
+        """Personality eligibility minus retired/retiring blocks.
+
+        A defect-closed block looks like a perfect victim once its live
+        data is gone (zero valid bytes), but collecting it would erase
+        and reuse a block the device has given up on.
+        """
+        if block_index in self.grown_defects or block_index in self._retire_pending:
+            return False
+        return self.personality.gc_eligible(block_index)
+
     def has_reclaimable_victim(self) -> bool:
         """Whether any eligible closed block would yield net pages to GC."""
-        eligible = self.personality.gc_eligible
         for block_index, info in enumerate(self.array.blocks):
             if info.state is not BlockState.CLOSED:
                 continue
-            if not eligible(block_index):
+            if not self._gc_eligible(block_index):
                 continue
             if self.gc_page_benefit(block_index) >= 1:
                 return True
@@ -391,12 +612,16 @@ class FtlCore:
     def select_victim(self) -> Optional[int]:
         """Pick the next GC victim under the configured policy."""
         return select_victim(
-            self.array, self.gc_victim_policy, eligible=self.personality.gc_eligible
+            self.array, self.gc_victim_policy, eligible=self._gc_eligible
         )
 
     def _gc_worker(self) -> Generator[Event, None, None]:
         while True:
-            if len(self.pool) < self.gc_threshold_blocks:
+            if self._retire_queue:
+                # Defective blocks first: their live data is at risk and
+                # their pages are unusable either way.
+                yield from self._retire_block(self._retire_queue.popleft())
+            elif len(self.pool) < self.gc_threshold_blocks:
                 yield from self._collect_once()
             else:
                 yield self.env.any_of(
@@ -433,13 +658,51 @@ class FtlCore:
                 },
             )
 
+        relocated_bytes = yield from self._relocate_live(victim)
+        self.personality.gc_cleanup(victim)
+        if self.array.blocks[victim].valid_bytes != 0:
+            # Concurrent invalidations should have zeroed it; any residue
+            # means unmatched accounting, which we surface loudly.
+            raise ConfigurationError(
+                f"victim {victim} kept {self.array.blocks[victim].valid_bytes}B "
+                "valid after relocation"
+            )
+        self.stats.gc_relocated_bytes += relocated_bytes
+        try:
+            yield from self.array.erase(victim)
+        except EraseFailError:
+            # The erase consumed its time but the block never came back;
+            # retire it instead of returning it to the pool.
+            self.stats.erase_fails += 1
+            self._note_retired(victim)
+        else:
+            self.pool.push(victim)
+            self.stats.gc_erased_blocks += 1
+            self._space.notify_all()
+        if trace:
+            tracer.complete(
+                "gc", "gc.collect", "gc",
+                self.env.now - collect_started,
+                args={
+                    "victim": victim,
+                    "relocated_bytes": relocated_bytes,
+                    "foreground": foreground,
+                },
+            )
+
+    def _relocate_live(self, victim: int) -> Generator[Event, None, int]:
+        """Move every live payload out of ``victim``; returns moved bytes.
+
+        Shared by regular collection and defective-block retirement: a
+        census of live payloads, parallel page reads, then first-fit
+        grouped reprograms through the GC stream with the personality
+        rebinding each payload.
+        """
         live = self.personality.gc_census(victim)
         pages = sorted({item.page for item in live})
         if pages:
             read_procs = [
-                self.env.process(
-                    self.array.read(victim, page, self.array.geometry.page_bytes)
-                )
+                self.env.process(self._gc_read(victim, page))
                 for page in pages
             ]
             yield self.env.all_of(read_procs)
@@ -458,11 +721,9 @@ class FtlCore:
                 position += 1
             if not group:  # pragma: no cover - payloads never exceed a page
                 raise ConfigurationError("unpackable GC payload")
-            yield from self.block_allowance(for_gc=True)
-            target = self.gc_stream.next_slot()
             nbytes = sum(item.nbytes for item in group)
-            new_page = yield from self.array.program(
-                target, self.array.geometry.page_bytes, nbytes
+            target, new_page = yield from self._program_slot(
+                self.gc_stream, True, self.array.geometry.page_bytes, nbytes
             )
             for slot, item in enumerate(group):
                 if self.personality.gc_relocate(item, victim, target, new_page, slot):
@@ -472,26 +733,4 @@ class FtlCore:
                     # Invalidated between census and program: the fresh
                     # copy is dead on arrival.
                     self.array.invalidate(target, item.nbytes)
-        self.personality.gc_cleanup(victim)
-        if self.array.blocks[victim].valid_bytes != 0:
-            # Concurrent invalidations should have zeroed it; any residue
-            # means unmatched accounting, which we surface loudly.
-            raise ConfigurationError(
-                f"victim {victim} kept {self.array.blocks[victim].valid_bytes}B "
-                "valid after relocation"
-            )
-        yield from self.array.erase(victim)
-        self.pool.push(victim)
-        self.stats.gc_relocated_bytes += relocated_bytes
-        self.stats.gc_erased_blocks += 1
-        self._space.notify_all()
-        if trace:
-            tracer.complete(
-                "gc", "gc.collect", "gc",
-                self.env.now - collect_started,
-                args={
-                    "victim": victim,
-                    "relocated_bytes": relocated_bytes,
-                    "foreground": foreground,
-                },
-            )
+        return relocated_bytes

@@ -16,7 +16,7 @@ structures:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Set
 
 from repro.errors import ConfigurationError, DeviceFullError
 from repro.flash.nand import BlockState, FlashArray
@@ -35,6 +35,11 @@ class FreeBlockPool:
             die: deque() for die in range(array.geometry.total_dies)
         }
         self._count = 0
+        #: Grown defects: blocks permanently withdrawn from allocation.
+        #: They consume the over-provisioning spares — the FTL core
+        #: compares this against its spare budget to decide when the
+        #: device must degrade to read-only.
+        self.retired: Set[int] = set()
         for block_index, info in enumerate(array.blocks):
             if info.state is BlockState.FREE:
                 self.push(block_index)
@@ -44,6 +49,10 @@ class FreeBlockPool:
 
     def push(self, block_index: int) -> None:
         """Return an erased block to the pool."""
+        if block_index in self.retired:
+            raise ConfigurationError(
+                f"retired block {block_index} cannot rejoin the free pool"
+            )
         die = self.array.geometry.die_of_block(block_index)
         self._by_die[die].append(block_index)
         self._count += 1
@@ -83,6 +92,25 @@ class FreeBlockPool:
                 f"block {block_index} is not in the free pool"
             ) from None
         self._count -= 1
+
+    def retire(self, block_index: int) -> None:
+        """Permanently withdraw a grown-defect block from allocation.
+
+        The block is dropped from its die queue if it happens to be
+        pooled (a FREE block can go bad on its first failed program) and
+        recorded in :attr:`retired`; ``push`` refuses it from then on.
+        Idempotent — retiring twice counts once.
+        """
+        if block_index in self.retired:
+            return
+        self.retired.add(block_index)
+        die = self.array.geometry.die_of_block(block_index)
+        try:
+            self._by_die[die].remove(block_index)
+        except ValueError:
+            pass
+        else:
+            self._count -= 1
 
 
 class AllocationStream:

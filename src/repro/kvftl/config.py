@@ -66,6 +66,9 @@ class KVSSDConfig:
     gc_reserve_blocks: int = 4
     #: GC victim scoring: ``greedy`` or ``cost_benefit`` (ablation knob).
     gc_victim_policy: str = "greedy"
+    #: Grown-defect budget before the device degrades to read-only;
+    #: ``None`` scales with the geometry (see FtlCore).
+    spare_block_limit: Optional[int] = None
 
     # -- controller service times (microseconds) -----------------------------
     host_interface_us: float = 2.0
@@ -132,6 +135,8 @@ class KVSSDConfig:
             raise ConfigurationError("bloom FP rate must be within [0, 1]")
         if self.gc_reserve_blocks < 1:
             raise ConfigurationError("gc_reserve_blocks must be >= 1")
+        if self.spare_block_limit is not None and self.spare_block_limit < 1:
+            raise ConfigurationError("spare_block_limit must be >= 1")
         if self.gc_victim_policy not in ("greedy", "cost_benefit"):
             raise ConfigurationError(
                 "gc_victim_policy must be 'greedy' or 'cost_benefit', "

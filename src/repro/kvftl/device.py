@@ -39,6 +39,7 @@ from repro.errors import (
     DeviceFullError,
     KeyNotFoundError,
 )
+from repro.faults.model import FaultInjector
 from repro.flash.geometry import Geometry
 from repro.flash.nand import BlockState, FlashArray
 from repro.flash.timing import FlashTiming
@@ -101,6 +102,7 @@ class KVSSD:
         config: Optional[KVSSDConfig] = None,
         name: str = "kv-ssd",
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.env = env
         self.name = name
@@ -117,7 +119,8 @@ class KVSSD:
         self.counters = self.stats
         self.space = self.stats
         self.array = FlashArray(
-            env, geometry, self.timing, stats=self.stats, tracer=self.tracer
+            env, geometry, self.timing, stats=self.stats, tracer=self.tracer,
+            faults=faults,
         )
         self.usable_page = usable_page_bytes(geometry.page_bytes, self.config)
 
@@ -179,6 +182,7 @@ class KVSSD:
             page_payload_bytes=self.usable_page,
             user_capacity_bytes=self.user_capacity_bytes,
             gc_victim_policy=self.config.gc_victim_policy,
+            spare_block_limit=self.config.spare_block_limit,
             stats=self.stats,
             tracer=self.tracer,
             name=name,
@@ -236,6 +240,7 @@ class KVSSD:
         """
         validate_key(key, self.config)
         validate_value_size(value_bytes, self.config)
+        self.core.ensure_writable()
         layout = layout_blob(
             len(key), value_bytes, self.array.geometry.page_bytes, self.config
         )
@@ -347,18 +352,24 @@ class KVSSD:
                 block, page = location
                 procs.append(
                     self.env.process(
-                        self.array.read(block, page, record.fragments[frag_index])
+                        self.core.read_page(
+                            block, page, record.fragments[frag_index]
+                        )
                     )
                 )
             if procs:
+                # Parallel fragment reads share the op's flash phase, so
+                # any retry time lands there too (per-fragment recovery
+                # attribution would require splitting the all_of wait).
                 with span.phase("flash"):
                     yield self.env.all_of(procs)
             value_bytes = record.value_bytes
         else:
             population, index = payload
             block, page = population.location_of(index)
-            with span.phase("flash"):
-                yield from self.array.read(block, page, population.footprint_bytes)
+            yield from self.core.read_page(
+                block, page, population.footprint_bytes, span=span
+            )
             value_bytes = population.value_bytes
         self.stats.host_reads += 1
         self.stats.host_read_bytes += value_bytes

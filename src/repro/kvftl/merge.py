@@ -54,9 +54,16 @@ class MergeEngine:
     # -- index flash traffic ---------------------------------------------
 
     def index_page_read(self) -> Generator[Event, None, None]:
-        """Timed read of the next index-region page."""
+        """Timed read of the next index-region page.
+
+        Index-region reads bypass fault injection: the region is fenced
+        from GC and modeled as overwrite-in-place metadata, so the fault
+        model scopes to the data path (see DESIGN.md).
+        """
         block, page = self.index.next_region_page()
-        yield from self.array.read(block, page, self.array.geometry.page_bytes)
+        yield from self.array.read(
+            block, page, self.array.geometry.page_bytes, fault_check=False
+        )
         self.stats.index_flash_reads += 1
 
     def index_page_write(self) -> Generator[Event, None, None]:

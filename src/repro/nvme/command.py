@@ -13,7 +13,20 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    AddressError,
+    CapacityLimitError,
+    ConfigurationError,
+    DeviceError,
+    DeviceFullError,
+    DeviceReadOnlyError,
+    EraseFailError,
+    InvalidKeyError,
+    InvalidValueError,
+    KeyNotFoundError,
+    ProgramFailError,
+    UncorrectableReadError,
+)
 
 #: Size of one NVMe submission queue entry.
 NVME_COMMAND_BYTES = 64
@@ -28,6 +41,67 @@ class KVOpcode(enum.Enum):
     RETRIEVE = "retrieve"
     DELETE = "delete"
     EXIST = "exist"
+
+
+class NvmeStatus(enum.IntEnum):
+    """Completion-queue status field, ``(SCT << 8) | SC`` per the spec.
+
+    Generic (SCT 0) and media (SCT 2) codes come from the NVMe base
+    specification; KV codes are the vendor-specific values Samsung's KV
+    command set reports.  The simulated devices raise the exception
+    hierarchy in :mod:`repro.errors`; :func:`status_for_error` translates
+    at the driver boundary, the way a real completion path fills CQE DW3.
+    """
+
+    SUCCESS = 0x000
+    # -- generic command status (SCT 0) ---------------------------------
+    LBA_OUT_OF_RANGE = 0x080
+    CAPACITY_EXCEEDED = 0x081
+    NAMESPACE_WRITE_PROTECTED = 0x020
+    INVALID_FIELD = 0x002
+    # -- media and data integrity errors (SCT 2) ------------------------
+    WRITE_FAULT = 0x280
+    UNRECOVERED_READ_ERROR = 0x281
+    # -- KV command set (vendor-specific) --------------------------------
+    KV_KEY_NOT_EXIST = 0x310
+    KV_CAPACITY_EXCEEDED = 0x311
+    KV_INVALID_KEY_SIZE = 0x312
+    KV_INVALID_VALUE_SIZE = 0x313
+
+    @property
+    def is_error(self) -> bool:
+        return self is not NvmeStatus.SUCCESS
+
+
+#: Exception class -> completion status, most specific first (the lookup
+#: walks this in order with isinstance, so subclasses must precede their
+#: bases).
+_STATUS_MAP = (
+    (UncorrectableReadError, NvmeStatus.UNRECOVERED_READ_ERROR),
+    (ProgramFailError, NvmeStatus.WRITE_FAULT),
+    (EraseFailError, NvmeStatus.WRITE_FAULT),
+    (DeviceReadOnlyError, NvmeStatus.NAMESPACE_WRITE_PROTECTED),
+    (DeviceFullError, NvmeStatus.CAPACITY_EXCEEDED),
+    (CapacityLimitError, NvmeStatus.KV_CAPACITY_EXCEEDED),
+    (KeyNotFoundError, NvmeStatus.KV_KEY_NOT_EXIST),
+    (InvalidKeyError, NvmeStatus.KV_INVALID_KEY_SIZE),
+    (InvalidValueError, NvmeStatus.KV_INVALID_VALUE_SIZE),
+    (AddressError, NvmeStatus.LBA_OUT_OF_RANGE),
+)
+
+
+def status_for_error(exc: BaseException) -> NvmeStatus:
+    """Completion status a device would report for ``exc``.
+
+    Unrecognized device errors map to ``INVALID_FIELD``; non-device
+    exceptions (programming errors) are not NVMe-visible and raise.
+    """
+    for exc_type, status in _STATUS_MAP:
+        if isinstance(exc, exc_type):
+            return status
+    if isinstance(exc, DeviceError):
+        return NvmeStatus.INVALID_FIELD
+    raise TypeError(f"{type(exc).__name__} is not a device-level error")
 
 
 def commands_for_key(key_bytes: int) -> int:

@@ -20,6 +20,7 @@ from typing import Generator
 
 from repro.errors import ConfigurationError
 from repro.metrics.cpu import CpuAccountant
+from repro.nvme.command import NvmeStatus
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
 
@@ -68,6 +69,11 @@ class KernelDeviceDriver:
         self.tracer = tracer
         self._submission_path = Resource(env, 1, name=f"{name}.submit")
         self.commands_submitted = 0
+        self.commands_completed = 0
+        #: Completions carrying a non-SUCCESS status.
+        self.commands_failed = 0
+        #: The status of the most recent completion (test/debug hook).
+        self.last_status = NvmeStatus.SUCCESS
 
     def submit(
         self, ncommands: int, sync: bool, component: str
@@ -95,11 +101,29 @@ class KernelDeviceDriver:
                 args={"n": ncommands, "sync": sync},
             )
 
-    def complete(self, ncommands: int, component: str) -> None:
-        """Account completion handling for ``ncommands`` (CPU only)."""
+    def complete(
+        self,
+        ncommands: int,
+        component: str,
+        status: NvmeStatus = NvmeStatus.SUCCESS,
+    ) -> None:
+        """Account completion handling for ``ncommands`` (CPU only).
+
+        ``status`` is the completion-queue status the device reported;
+        error completions cost the same CPU but are counted separately
+        (the host error path proper — retries, log-page reads — is out
+        of scope).
+        """
         if ncommands < 1:
             raise ConfigurationError(f"ncommands must be >= 1, got {ncommands}")
         self.cpu.charge(component, ncommands * self.costs.cpu_complete_us)
+        self.commands_completed += ncommands
+        self.last_status = status
+        if status.is_error:
+            self.commands_failed += ncommands
         tracer = self.tracer
         if tracer is not None and tracer.wants("nvme"):
-            tracer.instant(self.name, "complete", "nvme", args={"n": ncommands})
+            tracer.instant(
+                self.name, "complete", "nvme",
+                args={"n": ncommands, "status": status.name},
+            )

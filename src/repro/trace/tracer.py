@@ -36,10 +36,12 @@ from repro.errors import ConfigurationError
 
 #: Every category a record may carry.  ``op`` roots and their ``phase``
 #: children feed latency attribution; the rest are device-timeline tracks.
-CATEGORIES = ("op", "phase", "nvme", "flash", "gc", "flush", "host")
+CATEGORIES = ("op", "phase", "nvme", "flash", "gc", "flush", "host", "recovery")
 
 #: Attribution buckets an operation's phases may charge time to.
-BUCKETS = ("nvme", "controller", "index", "buffer", "flash", "host")
+#: ``recovery`` covers media-error handling (read retries and their
+#: backoff) so faulted operations still tile into the attribution sum.
+BUCKETS = ("nvme", "controller", "index", "buffer", "flash", "host", "recovery")
 
 
 @dataclass(frozen=True)

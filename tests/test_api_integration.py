@@ -1,6 +1,8 @@
 """Integration tests for the host APIs and experiment rigs."""
 
 
+import pytest
+
 from repro.core.experiment import (
     build_block_rig,
     build_hash_rig,
@@ -8,9 +10,17 @@ from repro.core.experiment import (
     build_lsm_rig,
     lab_geometry,
 )
+from repro.errors import (
+    AddressError,
+    DeviceFullError,
+    UncorrectableReadError,
+)
+from repro.faults.model import FaultConfig
 from repro.kvbench.runner import execute_workload
 from repro.kvbench.workload import Pattern, WorkloadSpec, generate_operations
+from repro.kvftl.blob import layout_blob
 from repro.kvftl.population import KeyScheme
+from repro.nvme.command import NvmeStatus
 from repro.units import KIB
 
 
@@ -139,6 +149,90 @@ def test_failed_reads_counted_not_raised_by_runner():
     )
     assert result.completed_ops == 0
     assert result.failed_ops == 50  # nothing was ever stored
+
+
+def test_device_full_propagates_through_kv_api_with_status():
+    """A full device surfaces as DeviceFullError -> CAPACITY_EXCEEDED."""
+    # A fat over-provisioning fraction makes the byte-capacity bound bind
+    # well before physical pages run out, so the refusal is exact: fill
+    # to capacity untimed, then the very next new pair must be rejected.
+    from repro.kvftl.config import KVSSDConfig
+
+    rig = build_kv_rig(lab_geometry(4), config=KVSSDConfig(overprovision=0.4))
+    device = rig.device
+    scheme = KeyScheme(prefix=b"full", digits=12)
+    footprint = layout_blob(
+        scheme.key_bytes, 4096, device.array.geometry.page_bytes,
+        device.config,
+    ).footprint_bytes
+    device.fast_fill(
+        (device.user_capacity_bytes - device.stats.device_bytes) // footprint,
+        4096, scheme,
+    )
+
+    def session(env):
+        yield env.process(rig.api.store(b"one-pair-too-many", 4096))
+
+    with pytest.raises(DeviceFullError) as excinfo:
+        rig.env.run_until_complete(rig.env.process(session(rig.env)))
+    assert excinfo.value.nvme_status == NvmeStatus.CAPACITY_EXCEEDED
+    assert rig.driver.commands_failed == 1
+    assert rig.driver.last_status == NvmeStatus.CAPACITY_EXCEEDED
+
+
+def test_device_full_propagates_through_block_api_with_status(monkeypatch):
+    """The block wrapper tags and accounts DeviceFullError identically."""
+    rig = build_block_rig(lab_geometry(4))
+
+    def full_write(offset, nbytes, span=None):
+        raise DeviceFullError("no free blocks available")
+        yield  # pragma: no cover - makes this a generator
+
+    monkeypatch.setattr(rig.device, "write", full_write)
+
+    def session(env):
+        yield env.process(rig.api.write(0, 8192))
+
+    with pytest.raises(DeviceFullError) as excinfo:
+        rig.env.run_until_complete(rig.env.process(session(rig.env)))
+    assert excinfo.value.nvme_status == NvmeStatus.CAPACITY_EXCEEDED
+    assert rig.driver.commands_failed == 1
+    assert rig.driver.last_status == NvmeStatus.CAPACITY_EXCEEDED
+
+
+def test_out_of_range_block_read_maps_to_lba_status():
+    rig = build_block_rig(lab_geometry(4))
+
+    def session(env):
+        yield env.process(
+            rig.api.read(rig.device.user_capacity_bytes, 8192)
+        )
+
+    with pytest.raises(AddressError) as excinfo:
+        rig.env.run_until_complete(rig.env.process(session(rig.env)))
+    assert excinfo.value.nvme_status == NvmeStatus.LBA_OUT_OF_RANGE
+    assert rig.driver.commands_failed == 1
+
+
+def test_uncorrectable_read_surfaces_through_kv_api():
+    rig = build_kv_rig(lab_geometry(4), fault_config=FaultConfig())
+    key = b"api-media-error1"
+
+    def store(env):
+        yield env.process(rig.api.store(key, 4096))
+
+    rig.env.run_until_complete(rig.env.process(store(rig.env)))
+    rig.env.run(until=rig.env.now + 100_000.0)  # flush to flash
+    rig.device.array.faults.schedule("read_uncorrectable")
+
+    def retrieve(env):
+        yield env.process(rig.api.retrieve(key))
+
+    with pytest.raises(UncorrectableReadError) as excinfo:
+        rig.env.run_until_complete(rig.env.process(retrieve(rig.env)))
+    assert excinfo.value.nvme_status == NvmeStatus.UNRECOVERED_READ_ERROR
+    assert rig.driver.last_status == NvmeStatus.UNRECOVERED_READ_ERROR
+    assert rig.device.stats.uncorrectable_reads == 1
 
 
 def test_sync_api_slower_and_hungrier_than_async():

@@ -11,6 +11,7 @@ from repro.core.figures import (
     fig2_end_to_end,
     fig4_value_size_concurrency,
     fig5_packing_bandwidth,
+    fig6_foreground_gc,
     fig7_space_amplification,
     fig8_key_size_bandwidth,
 )
@@ -61,6 +62,27 @@ def test_fig7_three_sizes():
     assert result.sa["aerospike"][50] < 2.0
     assert result.sa["rocksdb"][50] == pytest.approx(1.0 + 1.0 / 9.0)
     assert 2.8e9 < result.max_kvps_full_scale < 3.4e9
+
+
+def test_fig6_golden_foreground_gc_shape():
+    """Golden shape of the Fig. 6 mini run: the fixed-seed experiment
+    must keep producing foreground GC on the KV scenario and none on the
+    RocksDB-on-block scenario, with the tail ordering that follows.  A
+    change here means the GC engine's behavior shifted, not just noise —
+    the run is fully deterministic."""
+    result = fig6_foreground_gc(
+        blocks_per_plane=4, scenarios=("kv-uniform", "rocksdb-uniform"),
+    )
+    assert result.foreground_gc_runs["kv-uniform"] > 0
+    assert result.foreground_gc_runs["rocksdb-uniform"] == 0
+    kv_p99 = result.latency_summary["kv-uniform"]["p99"]
+    rocksdb_p99 = result.latency_summary["rocksdb-uniform"]["p99"]
+    assert kv_p99 > rocksdb_p99
+    # GC writes amplify the KV scenario; the TRIM-heavy block scenario
+    # collects nothing at this scale.
+    assert result.stats_summary["kv-uniform"]["waf"] > 1.1
+    assert result.stats_summary["rocksdb-uniform"]["waf"] == pytest.approx(1.0)
+    assert result.stats_summary["kv-uniform"]["gc_moved_mib"] > 0.0
 
 
 def test_fig8_cliff_minimal():

@@ -3,7 +3,17 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.api.block import BlockDeviceAPI
+from repro.blockftl.device import BlockSSD
+from repro.errors import KeyNotFoundError
+from repro.faults.model import FaultConfig, FaultInjector
+from repro.flash.geometry import Geometry
+from repro.hostkv.hashkv.store import HashKVStore
 from repro.kvbench.distributions import ZipfianGenerator, sliding_window_indices
+from repro.kvftl.device import KVSSD
+from repro.metrics.cpu import CpuAccountant
+from repro.nvme.driver import KernelDeviceDriver
+from repro.sim.engine import Environment
 from repro.kvftl.blob import layout_blob, usable_page_bytes
 from repro.kvftl.config import KVSSDConfig
 from repro.kvftl.keyhash import hash_fraction, iterator_bucket, key_hash64
@@ -155,3 +165,115 @@ def test_percentile_bounded_and_monotone(samples, fraction):
     assert samples[0] - epsilon <= value <= samples[-1] + epsilon
     if fraction < 1.0:
         assert percentile(samples, fraction) <= percentile(samples, 1.0) + epsilon
+
+
+# -- firmware parity under faults ---------------------------------------------------------------------
+
+
+def _parity_geometry():
+    return Geometry(
+        channels=4,
+        dies_per_channel=2,
+        planes_per_die=2,
+        blocks_per_plane=8,
+        pages_per_block=32,
+        page_bytes=32 * KIB,
+    )
+
+
+#: Corrected-only statistical faults: retries fire, but every read still
+#: returns good data, so observable results must not change.
+_LOW_FAULTS = FaultConfig(seed=3, read_corrected_prob=0.05)
+
+
+def _parity_key(index):
+    return b"parity-%06d" % index
+
+
+def _run_ops(device_ops, env):
+    """Drive the op list sequentially; returns the observation sequence."""
+    results = []
+
+    def driver():
+        for apply_op in device_ops:
+            try:
+                outcome = yield from apply_op()
+            except KeyNotFoundError:
+                outcome = "missing"
+            results.append(outcome)
+
+    env.run_until_complete(env.process(driver()), limit=env.now + 600e6)
+    return results
+
+
+def _kv_observations(ops, fault_config):
+    env = Environment()
+    faults = FaultInjector(fault_config) if fault_config else None
+    ssd = KVSSD(env, _parity_geometry(), faults=faults)
+
+    def apply(op, index, value_bytes):
+        def thunk():
+            key = _parity_key(index)
+            if op == "put":
+                yield from ssd.store(key, value_bytes)
+                return "ok"
+            if op == "get":
+                return (yield from ssd.retrieve(key))
+            yield from ssd.delete(key)
+            return "ok"
+        return thunk
+
+    return _run_ops([apply(*op) for op in ops], env)
+
+
+def _hash_observations(ops, fault_config):
+    env = Environment()
+    faults = FaultInjector(fault_config) if fault_config else None
+    device = BlockSSD(env, _parity_geometry(), faults=faults)
+    driver = KernelDeviceDriver(env, CpuAccountant(env))
+    store = HashKVStore(env, BlockDeviceAPI(env, device, driver))
+
+    def apply(op, index, value_bytes):
+        def thunk():
+            key = _parity_key(index)
+            if op == "put":
+                yield from store.put(key, value_bytes)
+                return "ok"
+            if op == "get":
+                return (yield from store.get(key))
+            yield from store.delete(key)
+            return "ok"
+        return thunk
+
+    return _run_ops([apply(*op) for op in ops], env)
+
+
+_PARITY_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "get", "delete"]),
+        st.integers(min_value=0, max_value=19),
+        st.sampled_from([100, 1000, 4096]),
+    ),
+    min_size=5,
+    max_size=30,
+)
+
+
+@given(_PARITY_OPS)
+@settings(max_examples=10, deadline=None)
+def test_firmware_parity_with_and_without_faults(ops):
+    """Both personalities agree on every op outcome, faults or not.
+
+    The same random put/get/delete stream runs on the KV-SSD and on the
+    hash store over a block-SSD, clean and under corrected-only fault
+    injection.  All four runs must observe identical (outcome, value
+    size) sequences: the personalities implement the same KV contract,
+    and recovered media errors are invisible to the host.
+    """
+    kv_clean = _kv_observations(ops, None)
+    hash_clean = _hash_observations(ops, None)
+    assert kv_clean == hash_clean
+    kv_faulty = _kv_observations(ops, _LOW_FAULTS)
+    hash_faulty = _hash_observations(ops, _LOW_FAULTS)
+    assert kv_faulty == kv_clean
+    assert hash_faulty == hash_clean
