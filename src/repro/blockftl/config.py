@@ -52,6 +52,10 @@ class BlockSSDConfig:
     #: Grown-defect budget before the device degrades to read-only;
     #: ``None`` scales with the geometry (see FtlCore).
     spare_block_limit: Optional[int] = None
+    #: Runtime invariant checking after every GC cycle and drain (see
+    #: :meth:`repro.ftl.core.FtlCore.check_invariants`).  O(live data)
+    #: per check — a debug/test mode, off by default.
+    invariants: bool = False
 
     # -- controller service times (microseconds) --------------------------
     #: Fixed command handling (NVMe decode, DMA setup).

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, Iterator, List, Optional, Tuple
 
 from repro.blockftl.config import BlockSSDConfig
 from repro.blockftl.mapping import UNMAPPED, PageMap, SegmentCache
@@ -111,6 +111,7 @@ class BlockSSD:
             spare_block_limit=self.config.spare_block_limit,
             stats=self.stats,
             tracer=self.tracer,
+            invariants=self.config.invariants,
             name=name,
         )
         self.pool = self.core.pool
@@ -408,6 +409,12 @@ class BlockSSD:
     def gc_cleanup(self, victim: int) -> None:
         # The page map carries all block-personality state; nothing to do.
         pass
+
+    def mapping_view(self) -> Iterator[Tuple[object, int, int, int]]:
+        # Invariant-checker ground truth: every mapped unit, identified
+        # by its (unique) logical unit number.
+        for unit, block, page, _slot in self.pagemap.iter_mapped():
+            yield unit, block, page, self.map_unit
 
     # ------------------------------------------------------------------
     # experiment priming

@@ -16,7 +16,7 @@ sequential-access advantage.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
@@ -115,6 +115,16 @@ class PageMap:
     def unit_at(self, slot_id: int) -> int:
         """Reverse lookup; returns the unit stored at a slot or UNMAPPED."""
         return int(self._reverse[slot_id])
+
+    def iter_mapped(self) -> Iterator[Tuple[int, int, int, int]]:
+        """All live (unit, block, page, slot) mappings, physical order.
+
+        The invariant checker's ground truth; O(total slots) per call,
+        so it is meant for debug/test passes, not hot paths.
+        """
+        for slot_id in np.nonzero(self._reverse != UNMAPPED)[0]:
+            block, page, slot = self.unflatten(int(slot_id))
+            yield int(self._reverse[slot_id]), block, page, slot
 
     def live_units_in_block(self, block: int) -> List[Tuple[int, int, int]]:
         """All live (unit, page, slot) triples within ``block`` — GC's view."""

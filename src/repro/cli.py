@@ -154,7 +154,7 @@ def _print_trace(args: argparse.Namespace) -> None:
 
 def _print_faults(args: argparse.Namespace) -> None:
     # Lazy import, like trace: figure subcommands never pay for it.
-    from repro.faults.run import run_fault_sweep
+    from repro.faults.run import run_fault_sweep, write_sweep_csv
 
     try:
         rates = [float(r) for r in args.fault_rates.split(",") if r.strip()]
@@ -182,6 +182,9 @@ def _print_faults(args: argparse.Namespace) -> None:
     ))
     print("\nrate = per-read corrected-error probability; rarer events "
           "(uncorrectable, program/erase fail) scale down from it")
+    if args.faults_out:
+        written = write_sweep_csv(points, args.faults_out)
+        print(f"wrote {written} sweep rows to {args.faults_out}")
 
 
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
@@ -207,12 +210,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all", "trace", "faults"],
+        choices=sorted(_COMMANDS) + ["all", "trace", "faults", "lint"],
         help=(
             "which figure (or 'headline'/'all') to regenerate, 'trace' "
-            "to record a span trace of a figure-shaped workload, or "
+            "to record a span trace of a figure-shaped workload, "
             "'faults' to sweep statistical fault rates on both "
-            "personalities"
+            "personalities, or 'lint' to run the simlint static-"
+            "analysis pass (extra args go to repro.lint)"
         ),
     )
     parser.add_argument(
@@ -240,11 +244,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=7,
         help="faults: fault-injector RNG seed (default: 7)",
     )
+    parser.add_argument(
+        "--faults-out", default=None, metavar="PATH",
+        help="faults: also write the sweep as CSV to PATH "
+             "(parent directories are created)",
+    )
     return parser
 
 
 def main(argv: List[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        # simlint has its own argument surface (paths, --list-rules);
+        # hand the rest of the command line straight to it.
+        from repro.lint.__main__ import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment in ("trace", "faults"):
         # Excluded from 'all': these are diagnostic passes (a trace file,
@@ -259,9 +275,12 @@ def main(argv: List[str] | None = None) -> int:
         commands = _COMMANDS
     for name in names:
         print(f"\n=== {name} ===")
-        started = time.time()
+        # Host-side progress reporting for the human running the CLI —
+        # not simulation state, so the wall clock is the right clock.
+        started = time.time()  # simlint: disable=SIM001
         commands[name](args)
-        print(f"[{name} done in {time.time() - started:.1f}s]")
+        elapsed = time.time() - started  # simlint: disable=SIM001
+        print(f"[{name} done in {elapsed:.1f}s]")
     return 0
 
 

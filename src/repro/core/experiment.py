@@ -118,7 +118,7 @@ def build_kv_rig(
     geometry: Optional[Geometry] = None,
     config: Optional[KVSSDConfig] = None,
     timing: Optional[FlashTiming] = None,
-    driver_costs: DriverCosts = DriverCosts(),
+    driver_costs: Optional[DriverCosts] = None,
     sync: bool = False,
     host_cores: int = 16,
     tracer: Optional[Tracer] = None,
@@ -145,7 +145,7 @@ def build_block_rig(
     geometry: Optional[Geometry] = None,
     config: Optional[BlockSSDConfig] = None,
     timing: Optional[FlashTiming] = None,
-    driver_costs: DriverCosts = DriverCosts(),
+    driver_costs: Optional[DriverCosts] = None,
     sync: bool = False,
     host_cores: int = 16,
     tracer: Optional[Tracer] = None,

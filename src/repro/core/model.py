@@ -89,12 +89,12 @@ class KVSSDModel:
         geometry: Geometry,
         config: Optional[KVSSDConfig] = None,
         timing: Optional[FlashTiming] = None,
-        driver: DriverCosts = DriverCosts(),
+        driver: Optional[DriverCosts] = None,
     ) -> None:
         self.geometry = geometry
         self.config = config or KVSSDConfig()
         self.timing = timing or FlashTiming()
-        self.driver = driver
+        self.driver = driver if driver is not None else DriverCosts()
         self.usable_page = usable_page_bytes(geometry.page_bytes, self.config)
         region = max(
             1, int(geometry.total_blocks * self.config.index_region_fraction)

@@ -21,6 +21,15 @@ class SimulationError(ReproError):
     """The discrete-event engine was used incorrectly."""
 
 
+class InvariantViolation(ReproError):
+    """The FTL runtime invariant checker found inconsistent device state.
+
+    Raised only when a device is built with ``invariants=True``; it means
+    the mapping, the flash array's valid-byte accounting, or the free-block
+    pool disagree — i.e. an FTL bug, not a workload error.
+    """
+
+
 class DeviceError(ReproError):
     """Base class for device-level failures (the simulated SSD said no)."""
 

@@ -14,8 +14,11 @@ reliability literature reports for enterprise TLC.
 
 from __future__ import annotations
 
+import csv
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.experiment import build_block_rig, build_kv_rig, lab_geometry
 from repro.errors import ConfigurationError
@@ -164,3 +167,42 @@ def run_fault_sweep(
                                        blocks_per_plane, queue_depth,
                                        workload_seed))
     return points
+
+
+#: Column order of :func:`write_sweep_csv` (stable: tooling parses it).
+SWEEP_CSV_COLUMNS = (
+    "personality", "rate", "completed_ops", "failed_ops",
+    "p50_us", "p99_us", "p999_us",
+    "read_retries", "corrected_reads", "uncorrectable_reads",
+    "program_fails", "erase_fails", "retired_blocks", "read_only",
+)
+
+
+def write_sweep_csv(
+    points: Sequence[FaultPoint], path: Union[str, "os.PathLike[str]"]
+) -> int:
+    """Write sweep results as CSV to ``path``; returns rows written.
+
+    Accepts any path-like value and creates missing parent directories,
+    so ``repro faults --faults-out results/sweep.csv`` just works.
+    """
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="ascii", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SWEEP_CSV_COLUMNS)
+        for point in points:
+            latency = point.latency_summary()
+            stats = point.stats
+            writer.writerow([
+                point.personality, f"{point.rate:g}",
+                point.run.completed_ops, point.run.failed_ops,
+                round(latency["p50"], 3), round(latency["p99"], 3),
+                round(latency["p999"], 3),
+                stats.read_retries, stats.corrected_reads,
+                stats.uncorrectable_reads, stats.program_fails,
+                stats.erase_fails, stats.retired_blocks,
+                int(point.read_only),
+            ])
+    return len(points)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Generator, List, Optional
+from typing import TYPE_CHECKING, Generator, List, Optional
 
 from repro.errors import (
     AddressError,
@@ -35,6 +35,11 @@ from repro.flash.geometry import Geometry
 from repro.flash.timing import FlashTiming
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
+
+if TYPE_CHECKING:
+    # Both live above this layer; imported for annotations only.
+    from repro.ftl.core import DeviceStats
+    from repro.trace.tracer import Tracer
 
 
 class BlockState(enum.Enum):
@@ -97,8 +102,8 @@ class FlashArray:
         env: Environment,
         geometry: Geometry,
         timing: FlashTiming,
-        stats: object = None,
-        tracer: object = None,
+        stats: Optional["DeviceStats"] = None,
+        tracer: Optional["Tracer"] = None,
         faults: Optional[FaultInjector] = None,
     ) -> None:
         self.env = env
@@ -122,7 +127,7 @@ class FlashArray:
             BlockInfo() for _ in range(geometry.total_blocks)
         ]
 
-    def _tracing(self) -> object:
+    def _tracing(self) -> Optional["Tracer"]:
         """The tracer when flash spans are wanted, else ``None``.
 
         Timeline spans are recorded immediately after each resource serve

@@ -42,21 +42,45 @@ implementing a small duck-typed hook protocol:
     relocated copy dead instead).
 ``gc_cleanup(victim) -> None``
     Personality bookkeeping after relocation, before the erase.
+``mapping_view() -> Iterable[Tuple[object, int, int, int]]``
+    Every live mapping entry as ``(ident, block, page, nbytes)`` — the
+    runtime invariant checker's ground truth (only consulted when the
+    device is built with ``invariants=True``).
 
 Adding a third personality (ZNS, host-managed FTL, ...) means
-implementing these eight hooks — not forking the engine.
+implementing these nine hooks — not forking the engine.
+
+**Runtime invariants** (``invariants=True``): after every GC cycle,
+defective-block retirement, and flush drain the core cross-checks the
+personality's mapping against the flash array and the free pool — no
+ident mapped twice, per-block valid bytes equal to the mapping's view,
+and page/pool conservation (FREE blocks exactly the pooled ones, valid
+bytes never exceeding programmed payload capacity).  Violations raise
+:class:`~repro.errors.InvariantViolation`.  The check is O(live data)
+per call, so it is a debug/test mode, not a production default.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Generator, List, Optional, Set, Tuple
+from typing import (
+    Deque,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+)
 
 from repro.errors import (
     ConfigurationError,
     DeviceReadOnlyError,
     EraseFailError,
+    InvariantViolation,
     ProgramFailError,
     UncorrectableReadError,
 )
@@ -68,7 +92,7 @@ from repro.ftl.writebuffer import WriteBuffer
 from repro.metrics.counters import DeviceCounters
 from repro.sim.engine import Environment, Event
 from repro.sim.signal import Signal
-from repro.trace.tracer import NULL_SPAN
+from repro.trace.tracer import NULL_SPAN, Tracer
 from repro.units import ceil_div
 
 #: GC policies the core can dispatch to (mirrors ``ftl.victim``).
@@ -201,6 +225,57 @@ class FlushBatch:
     transfer_bytes: int
 
 
+class Personality(Protocol):
+    """The hook protocol a hosting personality implements for the core.
+
+    The nine hooks the module docstring documents, as a structural type:
+    any object with these methods works — both shipped personalities
+    (:class:`~repro.kvftl.device.KVSSD`,
+    :class:`~repro.blockftl.device.BlockSSD`) and test stubs.
+    """
+
+    def live_bytes(self) -> int:
+        """Total live payload bytes across the personality's mapping."""
+        ...
+
+    def peek_flush(self) -> Optional[Tuple[int, float]]:
+        """(pending bytes, age of oldest) of the flush queue, or ``None``."""
+        ...
+
+    def pop_flush_batch(self) -> Optional[FlushBatch]:
+        """Pop up to one page worth of queued payloads."""
+        ...
+
+    def commit_flush(self, batch: FlushBatch, block: int, page: int) -> None:
+        """Bind a programmed batch's payloads to their flash location."""
+        ...
+
+    def gc_eligible(self, block_index: int) -> bool:
+        """Whether GC may pick this block as a victim."""
+        ...
+
+    def gc_census(self, victim: int) -> List[GcItem]:
+        """Every live payload currently resident in ``victim``."""
+        ...
+
+    def gc_relocate(self, item: GcItem, victim: int, target: int,
+                    new_page: int, slot: int) -> bool:
+        """Rebind one relocated payload; ``False`` if it died in flight."""
+        ...
+
+    def gc_cleanup(self, victim: int) -> None:
+        """Drop personality-side state for a fully collected block."""
+        ...
+
+    def mapping_view(self) -> Iterable[Tuple[object, int, int, int]]:
+        """Every live mapping as ``(ident, block, page, nbytes)``.
+
+        Consumed only by :meth:`FtlCore.check_invariants`; idents must be
+        unique and hashable.
+        """
+        ...
+
+
 class FtlCore:
     """Shared device substrate both firmware personalities compose.
 
@@ -214,7 +289,7 @@ class FtlCore:
         self,
         env: Environment,
         array: FlashArray,
-        personality: object,
+        personality: Personality,
         *,
         stream_width: int,
         write_buffer_bytes: int,
@@ -226,7 +301,8 @@ class FtlCore:
         gc_victim_policy: str = "greedy",
         spare_block_limit: Optional[int] = None,
         stats: Optional[DeviceStats] = None,
-        tracer: object = None,
+        tracer: Optional[Tracer] = None,
+        invariants: bool = False,
         name: str = "ftl",
     ) -> None:
         if gc_victim_policy not in VICTIM_POLICIES:
@@ -243,6 +319,8 @@ class FtlCore:
         self.stats = stats if stats is not None else DeviceStats()
         #: Optional span tracer for flush/GC timeline spans.
         self.tracer = tracer
+        #: Runtime invariant checking (debug/test mode; O(live data)).
+        self.invariants = invariants
         self.flush_linger_us = flush_linger_us
         self.gc_reserve_blocks = gc_reserve_blocks
         self.gc_victim_policy = gc_victim_policy
@@ -384,6 +462,113 @@ class FtlCore:
         """Wait until all accepted writes reach flash."""
         while self.personality.peek_flush() is not None or self.buffer.occupied_bytes:
             yield self.env.timeout(self.flush_linger_us)
+        self.check_invariants("drain")
+
+    # ------------------------------------------------------------------
+    # runtime invariants
+    # ------------------------------------------------------------------
+
+    def check_invariants(self, context: str = "explicit") -> None:
+        """Cross-check mapping, valid-byte accounting, and the free pool.
+
+        No-op unless the core was built with ``invariants=True``.  Runs
+        at scheduling points where the pipeline is quiescent for the
+        state it checks (GC end, retirement end, drain end) — every
+        mutation of mapping + valid bytes is atomic between yields, so
+        the three views must agree exactly:
+
+        I1
+            No ident appears twice in the personality's
+            ``mapping_view()`` (a double-mapped payload would be counted
+            live twice and survive GC as a ghost).
+        I2
+            Per block, the mapping's live bytes equal the flash array's
+            ``valid_bytes`` — GC victim scoring reads the latter, the
+            personality relocates from the former; drift between them
+            corrupts collection.
+        I3
+            Conservation: FREE blocks are exactly the pooled blocks
+            (minus grown defects, which may never be either), and per
+            block ``0 <= valid_bytes <= programmed payload capacity``
+            with FREE blocks fully reset — i.e. free/valid/invalid page
+            accounting sums to the block's capacity.
+        """
+        if not self.invariants:
+            return
+        blocks = self.array.blocks
+        per_block: Dict[int, int] = {}
+        seen: Set[object] = set()
+        for ident, block, page, nbytes in self.personality.mapping_view():
+            if ident in seen:
+                raise InvariantViolation(
+                    f"{self.name}/{context}: ident {ident!r} mapped twice"
+                )
+            seen.add(ident)
+            if not 0 <= block < len(blocks):
+                raise InvariantViolation(
+                    f"{self.name}/{context}: ident {ident!r} mapped to "
+                    f"nonexistent block {block}"
+                )
+            info = blocks[block]
+            if info.state is BlockState.FREE:
+                raise InvariantViolation(
+                    f"{self.name}/{context}: ident {ident!r} mapped to "
+                    f"FREE block {block}"
+                )
+            if not 0 <= page < info.next_page:
+                raise InvariantViolation(
+                    f"{self.name}/{context}: ident {ident!r} mapped to "
+                    f"unwritten page {page} of block {block} "
+                    f"(next_page={info.next_page})"
+                )
+            if nbytes <= 0:
+                raise InvariantViolation(
+                    f"{self.name}/{context}: ident {ident!r} maps "
+                    f"{nbytes} bytes"
+                )
+            per_block[block] = per_block.get(block, 0) + nbytes
+        page_cap = self.page_payload_bytes
+        pages_per_block = self.array.geometry.pages_per_block
+        n_free = 0
+        for index, info in enumerate(blocks):
+            mapped = per_block.get(index, 0)
+            if mapped != info.valid_bytes:
+                raise InvariantViolation(
+                    f"{self.name}/{context}: block {index} has "
+                    f"valid_bytes={info.valid_bytes} but the mapping "
+                    f"holds {mapped} live bytes there"
+                )
+            if info.state is BlockState.FREE:
+                n_free += 1
+                if index in self.pool.retired:
+                    raise InvariantViolation(
+                        f"{self.name}/{context}: retired block {index} "
+                        "is FREE"
+                    )
+                if info.next_page != 0 or info.valid_bytes != 0:
+                    raise InvariantViolation(
+                        f"{self.name}/{context}: FREE block {index} not "
+                        f"reset (next_page={info.next_page}, "
+                        f"valid_bytes={info.valid_bytes})"
+                    )
+            if not 0 <= info.next_page <= pages_per_block:
+                raise InvariantViolation(
+                    f"{self.name}/{context}: block {index} next_page="
+                    f"{info.next_page} outside [0, {pages_per_block}]"
+                )
+            if info.valid_bytes > info.next_page * page_cap:
+                raise InvariantViolation(
+                    f"{self.name}/{context}: block {index} valid_bytes="
+                    f"{info.valid_bytes} exceeds the "
+                    f"{info.next_page * page_cap}B payload capacity of "
+                    f"its {info.next_page} programmed pages"
+                )
+        if n_free != len(self.pool):
+            raise InvariantViolation(
+                f"{self.name}/{context}: {n_free} FREE blocks but "
+                f"{len(self.pool)} pooled — a block leaked from (or "
+                "into) the free pool"
+            )
 
     # ------------------------------------------------------------------
     # media-error recovery
@@ -545,6 +730,7 @@ class FtlCore:
             )
         self._note_retired(victim)
         self.stats.recovery_us += self.env.now - started
+        self.check_invariants("retire")
 
     def _gc_read(self, victim: int, page: int) -> Generator[Event, None, None]:
         """One relocation read; uncorrectable data is counted, not fatal."""
@@ -689,6 +875,7 @@ class FtlCore:
                     "foreground": foreground,
                 },
             )
+        self.check_invariants("gc")
 
     def _relocate_live(self, victim: int) -> Generator[Event, None, int]:
         """Move every live payload out of ``victim``; returns moved bytes.

@@ -11,11 +11,15 @@ troughs emerge exactly here.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.errors import ConfigurationError
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import TokenBucket
+
+if TYPE_CHECKING:
+    # Lives above this layer; imported for annotations only.
+    from repro.ftl.core import DeviceStats
 
 
 class WriteBuffer:
@@ -31,7 +35,7 @@ class WriteBuffer:
         env: Environment,
         capacity_bytes: int,
         name: str = "",
-        stats: object = None,
+        stats: Optional["DeviceStats"] = None,
     ) -> None:
         if capacity_bytes < 1:
             raise ConfigurationError(

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.errors import WorkloadError
@@ -66,7 +66,7 @@ class WorkloadSpec:
     op: str  # 'insert' | 'update' | 'read' | 'mixed' | 'delete'
     pattern: Pattern = Pattern.UNIFORM
     population: Optional[int] = None
-    key_scheme: KeyScheme = KeyScheme()
+    key_scheme: KeyScheme = field(default_factory=KeyScheme)
     value_bytes: int = 4096
     read_fraction: float = 0.5
     zipf_theta: float = 0.99

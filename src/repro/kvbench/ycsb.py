@@ -27,7 +27,7 @@ filters, whereas the LSM store serves genuine ordered ranges.  The
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import WorkloadError
@@ -48,7 +48,9 @@ class YCSBSpec:
     workload: str  # 'A'..'F'
     n_ops: int
     population: int
-    key_scheme: KeyScheme = KeyScheme(prefix=b"user", digits=12)
+    key_scheme: KeyScheme = field(
+        default_factory=lambda: KeyScheme(prefix=b"user", digits=12)
+    )
     value_bytes: int = YCSB_VALUE_BYTES
     scan_length: int = YCSB_SCAN_LENGTH
     zipf_theta: float = 0.99

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Generator, List, Optional, Tuple
+from typing import Deque, Dict, Generator, Iterator, List, Optional, Tuple
 
 from repro.errors import (
     CapacityLimitError,
@@ -185,6 +185,7 @@ class KVSSD:
             spare_block_limit=self.config.spare_block_limit,
             stats=self.stats,
             tracer=self.tracer,
+            invariants=self.config.invariants,
             name=name,
         )
         self.pool = self.core.pool
@@ -610,6 +611,30 @@ class KVSSD:
     def gc_cleanup(self, victim: int) -> None:
         self._manifests[victim] = []
         self.merge.kick_if_dirty()
+
+    def mapping_view(self) -> Iterator[Tuple[object, int, int, int]]:
+        # Invariant-checker ground truth.  Idents: ("r", key, frag_index)
+        # for individually stored fragments (in-flight fragments have no
+        # location yet and no valid bytes, so they are rightly absent),
+        # ("p", pop_index, pair) for live primed pairs.  O(live pairs)
+        # per call — debug/test mode only.
+        for key, record in self._records.items():
+            for frag_index, location in enumerate(record.locations):
+                if location is not None:
+                    yield (
+                        ("r", key, frag_index),
+                        location[0], location[1],
+                        record.fragments[frag_index],
+                    )
+        for pop_index, population in enumerate(self._populations):
+            for pair in range(population.count):
+                if pair in population.overridden:
+                    continue
+                block, page = population.location_of(pair)
+                yield (
+                    ("p", pop_index, pair),
+                    block, page, population.footprint_bytes,
+                )
 
     # ------------------------------------------------------------------
     # experiment priming

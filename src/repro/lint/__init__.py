@@ -1,0 +1,44 @@
+"""simlint: repo-specific static analysis for simulation correctness.
+
+The discrete-event simulator under :mod:`repro.sim` is only useful if
+it stays *deterministic* and its coroutine plumbing is used correctly.
+This package is an AST-based checker (stdlib :mod:`ast` only — no new
+dependencies) enforcing the simulator's contracts mechanically:
+
+========  ==========================================================
+code      rule
+========  ==========================================================
+SIM001    no wall-clock reads in model code (``time.time`` & co.)
+SIM002    no module-level ``random.*`` / unseeded ``random.Random()``
+SIM003    generator model function called as a bare statement
+          (a silent no-op — must go through ``env.process`` / yield)
+SIM004    no ``==`` / ``!=`` on simulated timestamps; use the
+          ``units.times_equal`` tolerance helpers
+SIM005    mutable or call-expression default arguments
+SIM006    ``Span.phase(...)`` must be used as a context manager
+========  ==========================================================
+
+Findings are suppressed per line with ``# simlint: disable=SIM001``
+(comma-separate several codes) or per file with
+``# simlint: disable-file=SIM001``.
+
+Run it as ``repro lint [paths...]`` or ``python -m repro.lint``.
+"""
+
+from repro.lint.engine import (
+    Finding,
+    format_findings,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.rules import RULES
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "format_findings",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

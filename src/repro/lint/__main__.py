@@ -1,0 +1,49 @@
+"""``python -m repro.lint [paths...]`` — standalone simlint entry point.
+
+Exit status 0 when clean, 1 when there are findings (or a file fails
+to parse).  ``repro lint`` in the main CLI routes here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import format_findings, lint_paths
+from repro.lint.rules import RULES
+
+#: Default lint target when no paths are given (repo-relative).
+DEFAULT_PATHS = ("src/repro",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simlint: simulation-correctness static analysis "
+                    "(SIM001-SIM006)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS), metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+    findings = lint_paths(args.paths)
+    print(format_findings(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

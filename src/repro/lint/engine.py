@@ -1,0 +1,122 @@
+"""simlint engine: file walking, suppression comments, reporting.
+
+The rules in :mod:`repro.lint.rules` are pure AST checks; this module
+owns everything file-shaped — reading sources, mapping raw findings to
+paths, and honoring the suppression comments:
+
+* ``# simlint: disable=SIM001`` — suppress on that line (several codes
+  comma-separate: ``disable=SIM001,SIM005``);
+* ``# simlint: disable-file=SIM001`` — suppress for the whole file.
+
+Suppressions are *code-scoped only*: a bare ``# simlint: disable`` does
+not parse and suppresses nothing, so a suppression always documents
+which contract it is opting out of.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.lint.rules import check_source
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<codes>SIM\d{3}(?:\s*,\s*SIM\d{3})*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported violation, ready to print."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: " \
+               f"{self.code} {self.message}"
+
+
+def parse_suppressions(source: str) -> Tuple[Set[str], Dict[int, Set[str]]]:
+    """(file-wide codes, line -> codes) from suppression comments."""
+    file_codes: Set[str] = set()
+    line_codes: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "simlint" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = {c.strip() for c in match.group("codes").split(",")}
+        if match.group("scope"):
+            file_codes |= codes
+        else:
+            line_codes.setdefault(lineno, set()).update(codes)
+    return file_codes, line_codes
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one source string; suppression comments already applied."""
+    raw, parsed_ok = check_source(source)
+    if not parsed_ok:
+        return [Finding(path, raw[0].line, raw[0].col,
+                        raw[0].code, raw[0].message)]
+    file_codes, line_codes = parse_suppressions(source)
+    findings = [
+        Finding(path, f.line, f.col, f.code, f.message)
+        for f in raw
+        if f.code not in file_codes
+        and f.code not in line_codes.get(f.line, ())
+    ]
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
+
+
+def lint_file(path: "str | os.PathLike[str]") -> List[Finding]:
+    """Lint one file on disk."""
+    target = Path(path)
+    return lint_source(target.read_text(encoding="utf-8"), str(target))
+
+
+def iter_python_files(
+    paths: Sequence["str | os.PathLike[str]"],
+) -> Iterable[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        else:
+            candidates = [root]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                out.append(candidate)
+    return out
+
+
+def lint_paths(paths: Sequence["str | os.PathLike[str]"]) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: List[Finding] = []
+    for target in iter_python_files(paths):
+        findings.extend(lint_file(target))
+    return findings
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    if not findings:
+        return "simlint: clean"
+    lines = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"simlint: {len(findings)} {noun}")
+    return "\n".join(lines)

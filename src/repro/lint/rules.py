@@ -1,0 +1,420 @@
+"""The six SIM rules, implemented as one two-pass AST checker.
+
+Pass 1 (:meth:`ModuleChecker._collect`) records module facts the rules
+need: which local names are bound to the ``time`` / ``datetime`` /
+``random`` modules, which functions and methods are generators, and
+which call expressions appear as ``with``-statement context managers.
+Pass 2 walks the tree again and emits :class:`RawFinding` tuples; the
+engine layer applies suppression comments and attaches file paths.
+
+Each rule is deliberately *repo-shaped* rather than general: SIM003
+only flags calls it can prove target a generator defined in the same
+module (bare ``foo(...)`` statements, or ``self.foo(...)`` where the
+enclosing class defines ``foo`` as a generator), because that is the
+silent no-op the simulator actually suffers from, and the restriction
+keeps the false-positive rate at zero on real code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+#: Rule catalog: code -> one-line description (shown by ``--list-rules``).
+RULES: Dict[str, str] = {
+    "SIM000": "file does not parse (syntax error)",
+    "SIM001": "wall-clock read in model code; the only clock is "
+              "Environment.now",
+    "SIM002": "module-level random.* call or unseeded random.Random(); "
+              "thread a seeded instance through config",
+    "SIM003": "generator model function called as a bare statement — "
+              "a silent no-op; wrap in env.process(...) or yield from it",
+    "SIM004": "== / != on simulated timestamps; use the units.py "
+              "tolerance helpers (times_equal)",
+    "SIM005": "mutable or call-expression default argument (shared "
+              "across calls / instances)",
+    "SIM006": "Span.phase(...) outside a with statement; phases must "
+              "be context-managed so they keep tiling op latency",
+}
+
+#: ``time`` module functions that read the host clock.
+_WALL_CLOCK_TIME_FUNCS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+    "clock_gettime", "clock_gettime_ns",
+})
+
+#: ``datetime`` / ``date`` classmethods that read the host clock.
+_DATETIME_FACTORIES = frozenset({"now", "utcnow", "today"})
+
+#: ``random`` module-level functions backed by the shared global RNG.
+_RANDOM_MODULE_FUNCS = frozenset({
+    "seed", "random", "uniform", "randint", "randrange", "randbytes",
+    "choice", "choices", "shuffle", "sample", "getrandbits",
+    "gauss", "normalvariate", "lognormvariate", "expovariate",
+    "vonmisesvariate", "gammavariate", "betavariate", "paretovariate",
+    "weibullvariate", "triangular",
+})
+
+#: Name suffixes that mark a variable as a simulated timestamp.
+_TIMESTAMP_SUFFIXES = ("_us", "_ts")
+
+_MUTABLE_LITERALS = (
+    ast.List, ast.Dict, ast.Set,
+    ast.ListComp, ast.DictComp, ast.SetComp, ast.GeneratorExp,
+)
+
+#: Constructor calls in defaults that build immutable values — sharing
+#: one across calls is harmless (e.g. ``float("inf")``).
+_IMMUTABLE_CONSTRUCTORS = frozenset({
+    "float", "int", "str", "bytes", "bool", "complex", "tuple",
+    "frozenset",
+})
+
+
+class RawFinding(NamedTuple):
+    """One violation before suppression filtering: (line, col, code, msg)."""
+
+    line: int
+    col: int
+    code: str
+    message: str
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    """The rightmost identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_generator_def(fn: ast.AST) -> bool:
+    """True if *fn* (a FunctionDef) yields at its own nesting level."""
+    todo: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while todo:
+        node = todo.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue  # a nested def's yields belong to the nested def
+        todo.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _decorator_is_dataclass(node: ast.expr) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    return _terminal_name(target) == "dataclass"
+
+
+class ModuleChecker(ast.NodeVisitor):
+    """Run all SIM rules over one parsed module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.tree = tree
+        self.findings: List[RawFinding] = []
+        # Pass-1 facts.
+        self.time_aliases: Set[str] = set()
+        self.wallclock_names: Set[str] = set()
+        self.datetime_aliases: Set[str] = set()
+        self.datetime_classes: Set[str] = set()
+        self.random_aliases: Set[str] = set()
+        self.random_funcs: Set[str] = set()
+        self.random_classes: Set[str] = set()
+        self.module_generators: Set[str] = set()
+        self.class_generators: Dict[str, Set[str]] = {}
+        self.with_contexts: Set[int] = set()
+        # Pass-2 state.
+        self._class_stack: List[str] = []
+
+    def run(self) -> List[RawFinding]:
+        self._collect()
+        self.visit(self.tree)
+        return self.findings
+
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(RawFinding(
+            getattr(node, "lineno", 1), getattr(node, "col_offset", 0),
+            code, message,
+        ))
+
+    # ------------------------------------------------------------------
+    # Pass 1: module facts
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "time":
+                        self.time_aliases.add(local)
+                    elif alias.name == "datetime":
+                        self.datetime_aliases.add(local)
+                    elif alias.name == "random":
+                        self.random_aliases.add(local)
+            elif isinstance(node, ast.ImportFrom):
+                self._collect_import_from(node)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    self.with_contexts.add(id(item.context_expr))
+        # Generator defs, by scope.
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_generator_def(node):
+                    self.module_generators.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                gens = {
+                    item.name for item in node.body
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))
+                    and _is_generator_def(item)
+                }
+                if gens:
+                    self.class_generators[node.name] = gens
+
+    def _collect_import_from(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_TIME_FUNCS:
+                    self.wallclock_names.add(alias.asname or alias.name)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self.datetime_classes.add(alias.asname or alias.name)
+        elif node.module == "random":
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if alias.name in _RANDOM_MODULE_FUNCS:
+                    self.random_funcs.add(local)
+                elif alias.name in ("Random", "SystemRandom"):
+                    self.random_classes.add(local)
+
+    # ------------------------------------------------------------------
+    # Pass 2: rule checks
+    # ------------------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if any(_decorator_is_dataclass(d) for d in node.decorator_list):
+            self._check_dataclass_defaults(node)
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_signature_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_signature_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_signature_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_wall_clock(node)
+        self._check_randomness(node)
+        self._check_phase_context(node)
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        self._check_dropped_generator(node)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        self._check_timestamp_equality(node)
+        self.generic_visit(node)
+
+    # -- SIM001 --------------------------------------------------------
+
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self.wallclock_names:
+            self._emit(node, "SIM001",
+                       f"wall-clock call {func.id}(); simulation code "
+                       "must read Environment.now")
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        value = func.value
+        if (isinstance(value, ast.Name) and value.id in self.time_aliases
+                and func.attr in _WALL_CLOCK_TIME_FUNCS):
+            self._emit(node, "SIM001",
+                       f"wall-clock call {value.id}.{func.attr}(); "
+                       "simulation code must read Environment.now")
+            return
+        if func.attr in _DATETIME_FACTORIES:
+            # datetime.now() / date.today() via from-import ...
+            if (isinstance(value, ast.Name)
+                    and value.id in self.datetime_classes):
+                self._emit(node, "SIM001",
+                           f"wall-clock call {value.id}.{func.attr}(); "
+                           "simulation code must read Environment.now")
+            # ... or datetime.datetime.now() via module import.
+            elif (isinstance(value, ast.Attribute)
+                    and value.attr in ("datetime", "date")
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in self.datetime_aliases):
+                self._emit(node, "SIM001",
+                           f"wall-clock call "
+                           f"{value.value.id}.{value.attr}.{func.attr}(); "
+                           "simulation code must read Environment.now")
+
+    # -- SIM002 --------------------------------------------------------
+
+    def _check_randomness(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self.random_funcs:
+                self._emit(node, "SIM002",
+                           f"module-level RNG call {func.id}(); use a "
+                           "seeded random.Random instance from config")
+            elif func.id in self.random_classes:
+                self._check_rng_seeded(node, func.id)
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        value = func.value
+        if not (isinstance(value, ast.Name)
+                and value.id in self.random_aliases):
+            return
+        if func.attr in _RANDOM_MODULE_FUNCS:
+            self._emit(node, "SIM002",
+                       f"module-level RNG call {value.id}.{func.attr}(); "
+                       "use a seeded random.Random instance from config")
+        elif func.attr in ("Random", "SystemRandom"):
+            self._check_rng_seeded(node, f"{value.id}.{func.attr}")
+
+    def _check_rng_seeded(self, node: ast.Call, shown: str) -> None:
+        if shown.endswith("SystemRandom"):
+            self._emit(node, "SIM002",
+                       f"{shown}() is never deterministic; use a seeded "
+                       "random.Random instance from config")
+        elif not node.args and not node.keywords:
+            self._emit(node, "SIM002",
+                       f"unseeded {shown}(); pass an explicit seed "
+                       "threaded through config")
+
+    # -- SIM003 --------------------------------------------------------
+
+    def _check_dropped_generator(self, node: ast.Expr) -> None:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        func = call.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Name) and func.id in self.module_generators:
+            name = func.id
+        elif (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and self._class_stack
+                and func.attr in self.class_generators.get(
+                    self._class_stack[-1], ())):
+            name = f"self.{func.attr}"
+        if name is not None:
+            self._emit(node, "SIM003",
+                       f"{name}(...) builds a generator that is never "
+                       "started — wrap it in env.process(...) or yield "
+                       "from it")
+
+    # -- SIM004 --------------------------------------------------------
+
+    def _check_timestamp_equality(self, node: ast.Compare) -> None:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        for operand in (node.left, *node.comparators):
+            if self._is_timestamp_expr(operand):
+                shown = _terminal_name(operand) or "timestamp"
+                self._emit(node, "SIM004",
+                           f"exact equality on simulated timestamp "
+                           f"{shown!r}; use the units.py tolerance "
+                           "helpers (times_equal)")
+                return
+
+    @staticmethod
+    def _is_timestamp_expr(node: ast.expr) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr == "now":
+            return True
+        name = _terminal_name(node)
+        return name is not None and name.endswith(_TIMESTAMP_SUFFIXES)
+
+    # -- SIM005 --------------------------------------------------------
+
+    def _check_signature_defaults(self, node: ast.AST) -> None:
+        args = node.args  # type: ignore[attr-defined]
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, _MUTABLE_LITERALS):
+                self._emit(default, "SIM005",
+                           "mutable literal default argument is shared "
+                           "across calls; default to None and build "
+                           "inside the function")
+            elif (isinstance(default, ast.Call)
+                    and _terminal_name(default.func)
+                    not in _IMMUTABLE_CONSTRUCTORS):
+                shown = _terminal_name(default.func) or "call"
+                self._emit(default, "SIM005",
+                           f"call-expression default {shown}(...) is "
+                           "evaluated once at def time and shared across "
+                           "calls; default to None and build inside the "
+                           "function")
+
+    def _check_dataclass_defaults(self, node: ast.ClassDef) -> None:
+        for item in node.body:
+            # Only annotated assignments are dataclass fields; a plain
+            # ``NAME = ...`` in the body is a class constant.  ClassVar
+            # annotations are likewise shared on purpose.
+            if not isinstance(item, ast.AnnAssign) or item.value is None:
+                continue
+            if _terminal_name(item.annotation) == "ClassVar" or (
+                    isinstance(item.annotation, ast.Subscript)
+                    and _terminal_name(item.annotation.value) == "ClassVar"):
+                continue
+            value = item.value
+            if isinstance(value, _MUTABLE_LITERALS):
+                self._emit(value, "SIM005",
+                           "mutable dataclass field default is shared "
+                           "across instances; use "
+                           "field(default_factory=...)")
+            elif (isinstance(value, ast.Call)
+                    and _terminal_name(value.func) != "field"
+                    and _terminal_name(value.func)
+                    not in _IMMUTABLE_CONSTRUCTORS):
+                shown = _terminal_name(value.func) or "call"
+                self._emit(value, "SIM005",
+                           f"dataclass field default {shown}(...) is "
+                           "evaluated once at class-definition time and "
+                           "shared across instances; use "
+                           "field(default_factory=...)")
+
+    # -- SIM006 --------------------------------------------------------
+
+    def _check_phase_context(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr == "phase"
+                and id(node) not in self.with_contexts):
+            self._emit(node, "SIM006",
+                       ".phase(...) outside a with statement; a phase "
+                       "only tiles op latency when context-managed")
+
+
+def check_module(tree: ast.Module) -> List[RawFinding]:
+    """All SIM findings for one parsed module, unsuppressed."""
+    return ModuleChecker(tree).run()
+
+
+def check_source(source: str) -> Tuple[List[RawFinding], bool]:
+    """Parse and check; returns (findings, parsed_ok)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [RawFinding(exc.lineno or 1, (exc.offset or 1) - 1,
+                           "SIM000", f"syntax error: {exc.msg}")], False
+    return check_module(tree), True

@@ -16,13 +16,16 @@ modeled per command:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.errors import ConfigurationError
 from repro.metrics.cpu import CpuAccountant
 from repro.nvme.command import NvmeStatus
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.trace.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -56,13 +59,13 @@ class KernelDeviceDriver:
         self,
         env: Environment,
         cpu: CpuAccountant,
-        costs: DriverCosts = DriverCosts(),
+        costs: Optional[DriverCosts] = None,
         name: str = "kdd",
-        tracer: object = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.env = env
         self.cpu = cpu
-        self.costs = costs
+        self.costs = costs if costs is not None else DriverCosts()
         self.name = name
         #: Optional span tracer; submissions/completions land on the
         #: driver's own timeline track.

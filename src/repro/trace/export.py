@@ -16,7 +16,9 @@ measured mean latency (the acceptance check of the trace subsystem).
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Tuple
+import os
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
 
 from repro.metrics.attribution import LatencyBreakdown
 from repro.trace.tracer import TraceCollector
@@ -72,10 +74,19 @@ def to_chrome_trace(collector: TraceCollector) -> dict:
     }
 
 
-def write_chrome_trace(collector: TraceCollector, path: str) -> int:
-    """Write the Perfetto-loadable JSON to ``path``; returns event count."""
+def write_chrome_trace(
+    collector: TraceCollector, path: Union[str, "os.PathLike[str]"]
+) -> int:
+    """Write the Perfetto-loadable JSON to ``path``; returns event count.
+
+    Accepts any path-like value and creates missing parent directories,
+    so ``repro trace --out results/run1/trace.json`` just works.
+    """
     document = to_chrome_trace(collector)
-    with open(path, "w", encoding="ascii") as handle:
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="ascii") as handle:
         json.dump(document, handle, separators=(",", ":"))
     return len(document["traceEvents"])
 

@@ -90,3 +90,30 @@ def ceil_div(numerator: int, denominator: int) -> int:
     if denominator <= 0:
         raise ValueError(f"denominator must be positive, got {denominator}")
     return -(-numerator // denominator)
+
+
+#: Default tolerance for comparing simulated timestamps (microseconds).
+#: Simulated times are float sums of float service costs, so two paths
+#: to the "same" instant can differ by accumulated rounding; a picosecond
+#: -scale epsilon is far below any modeled cost and far above any drift.
+TIME_EPSILON_US = 1e-6
+
+
+def times_equal(a_us: float, b_us: float,
+                tolerance_us: float = TIME_EPSILON_US) -> bool:
+    """Whether two simulated timestamps coincide within tolerance.
+
+    This is the sanctioned way to compare simulated times for equality —
+    ``==`` / ``!=`` on timestamps is rejected by simlint rule SIM004.
+    """
+    if tolerance_us < 0.0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance_us}")
+    return abs(a_us - b_us) <= tolerance_us
+
+
+def time_before(a_us: float, b_us: float,
+                tolerance_us: float = TIME_EPSILON_US) -> bool:
+    """Whether ``a_us`` is strictly before ``b_us``, beyond tolerance."""
+    if tolerance_us < 0.0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance_us}")
+    return a_us < b_us - tolerance_us

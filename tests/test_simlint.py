@@ -1,0 +1,324 @@
+"""simlint: one positive and one negative fixture per rule, CLI wiring.
+
+Each rule gets a minimal snippet that must trigger it and a twin snippet
+using the sanctioned idiom that must stay clean; a final test asserts
+the shipped ``src/repro`` tree lints clean through the real CLI.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES, lint_paths, lint_source
+from repro.lint.engine import format_findings, parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def codes(source: str):
+    return [f.code for f in lint_source(source)]
+
+
+# -- SIM001: wall clock -------------------------------------------------------
+
+
+def test_sim001_flags_wall_clock_reads():
+    flagged = codes(
+        "import time\n"
+        "def measure():\n"
+        "    return time.time()\n"
+    )
+    assert flagged == ["SIM001"]
+    assert codes(
+        "from time import perf_counter\n"
+        "started = perf_counter()\n"
+    ) == ["SIM001"]
+    assert codes(
+        "import datetime\n"
+        "stamp = datetime.datetime.now()\n"
+    ) == ["SIM001"]
+    assert codes(
+        "from datetime import datetime\n"
+        "stamp = datetime.utcnow()\n"
+    ) == ["SIM001"]
+
+
+def test_sim001_allows_simulated_clock():
+    assert codes(
+        "def wait(env):\n"
+        "    started = env.now\n"
+        "    tracer.now()\n"  # Tracer.now reads the sim clock
+        "    return env.now - started\n"
+    ) == []
+    # time.sleep is not a clock *read*; other linters police it.
+    assert codes("import time\ntime.sleep(1)\n") == []
+
+
+# -- SIM002: unseeded randomness ---------------------------------------------
+
+
+def test_sim002_flags_global_and_unseeded_rng():
+    assert codes(
+        "import random\n"
+        "value = random.random()\n"
+    ) == ["SIM002"]
+    assert codes(
+        "from random import randint\n"
+        "value = randint(1, 6)\n"
+    ) == ["SIM002"]
+    assert codes(
+        "import random\n"
+        "rng = random.Random()\n"
+    ) == ["SIM002"]
+    assert codes(
+        "import random\n"
+        "rng = random.SystemRandom(4)\n"
+    ) == ["SIM002"]
+
+
+def test_sim002_allows_seeded_instances():
+    assert codes(
+        "import random\n"
+        "rng = random.Random(1234)\n"
+        "value = rng.random()\n"
+    ) == []
+    assert codes(
+        "from random import Random\n"
+        "rng = Random(seed)\n"
+    ) == []
+
+
+# -- SIM003: dropped generator ------------------------------------------------
+
+
+def test_sim003_flags_unstarted_generator_statement():
+    assert codes(
+        "def worker(env):\n"
+        "    yield env.timeout(1)\n"
+        "def main(env):\n"
+        "    worker(env)\n"
+    ) == ["SIM003"]
+    assert codes(
+        "class Device:\n"
+        "    def drain(self):\n"
+        "        yield self.env.timeout(1)\n"
+        "    def close(self):\n"
+        "        self.drain()\n"
+    ) == ["SIM003"]
+
+
+def test_sim003_allows_started_or_delegated_generators():
+    assert codes(
+        "def worker(env):\n"
+        "    yield env.timeout(1)\n"
+        "def main(env):\n"
+        "    env.process(worker(env))\n"
+        "    proc = worker(env)\n"
+        "def outer(env):\n"
+        "    yield from worker(env)\n"
+    ) == []
+    # A same-named method on *another* object is not provably ours.
+    assert codes(
+        "class Device:\n"
+        "    def drain(self):\n"
+        "        yield self.env.timeout(1)\n"
+        "    def flush(self):\n"
+        "        self.buffer.drain()\n"
+    ) == []
+
+
+# -- SIM004: timestamp equality ----------------------------------------------
+
+
+def test_sim004_flags_timestamp_equality():
+    assert codes("ready = env.now == deadline_us\n") == ["SIM004"]
+    assert codes("if started_us != finished_us:\n    pass\n") == ["SIM004"]
+
+
+def test_sim004_allows_ordering_and_tolerance():
+    assert codes("done = env.now >= deadline_us\n") == []
+    assert codes(
+        "from repro.units import times_equal\n"
+        "same = times_equal(started_us, finished_us)\n"
+    ) == []
+    # String constants that merely *name* a timestamp field are fine.
+    assert codes("ok = field_name != 'command_overhead_us'\n") == []
+
+
+# -- SIM005: mutable defaults -------------------------------------------------
+
+
+def test_sim005_flags_mutable_and_call_defaults():
+    assert codes("def add(item, bucket=[]):\n    bucket.append(item)\n") \
+        == ["SIM005"]
+    assert codes(
+        "def build(costs=DriverCosts()):\n    return costs\n"
+    ) == ["SIM005"]
+    assert codes(
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Spec:\n"
+        "    scheme: KeyScheme = KeyScheme()\n"
+    ) == ["SIM005"]
+
+
+def test_sim005_allows_none_factory_and_immutable_defaults():
+    assert codes(
+        "from dataclasses import dataclass, field\n"
+        "@dataclass\n"
+        "class Spec:\n"
+        "    items: list = field(default_factory=list)\n"
+        "    limit: float = float('inf')\n"
+        "    MIXES = {'A': 1}\n"  # unannotated: class constant, not a field
+        "def build(costs=None, cap=float('inf')):\n"
+        "    return costs\n"
+    ) == []
+
+
+# -- SIM006: phase context manager -------------------------------------------
+
+
+def test_sim006_flags_unmanaged_phase():
+    assert codes(
+        "def op(span):\n"
+        "    span.phase('flash')\n"
+        "    return 1\n"
+    ) == ["SIM006"]
+
+
+def test_sim006_allows_with_statement():
+    assert codes(
+        "def op(span):\n"
+        "    with span.phase('flash'):\n"
+        "        return 1\n"
+    ) == []
+
+
+# -- suppressions -------------------------------------------------------------
+
+
+def test_line_suppression_silences_only_that_code_and_line():
+    clean = (
+        "import time\n"
+        "started = time.time()  # simlint: disable=SIM001\n"
+    )
+    assert codes(clean) == []
+    other_code = (
+        "import time\n"
+        "started = time.time()  # simlint: disable=SIM002\n"
+    )
+    assert codes(other_code) == ["SIM001"]
+    other_line = (
+        "import time\n"
+        "# simlint: disable=SIM001\n"
+        "started = time.time()\n"
+    )
+    assert codes(other_line) == ["SIM001"]
+
+
+def test_file_suppression_and_multi_code_parse():
+    source = (
+        "# simlint: disable-file=SIM001\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.perf_counter()\n"
+    )
+    assert codes(source) == []
+    file_codes, line_codes = parse_suppressions(
+        "x = 1  # simlint: disable=SIM001,SIM005\n"
+    )
+    assert file_codes == set()
+    assert line_codes == {1: {"SIM001", "SIM005"}}
+    # A bare disable with no codes suppresses nothing.
+    assert codes(
+        "import time\nstarted = time.time()  # simlint: disable\n"
+    ) == ["SIM001"]
+
+
+# -- engine / CLI -------------------------------------------------------------
+
+
+def test_syntax_error_reports_sim000():
+    assert codes("def broken(:\n") == ["SIM000"]
+
+
+def test_rule_catalog_covers_all_emitted_codes():
+    assert set(RULES) == {
+        "SIM000", "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+    }
+
+
+def test_format_findings_renders_path_line_and_summary(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nstarted = time.time()\n")
+    findings = lint_paths([tmp_path])
+    report = format_findings(findings)
+    assert f"{bad}:2:11: SIM001" in report
+    assert "simlint: 1 finding" in report
+    assert format_findings([]) == "simlint: clean"
+
+
+def test_shipped_tree_lints_clean_via_cli():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "simlint: clean" in result.stdout
+
+
+def test_cli_exits_nonzero_on_violation(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import random\n"
+        "def jitter(values=[]):\n"
+        "    return random.random()\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(bad)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 1
+    assert "SIM002" in result.stdout
+    assert "SIM005" in result.stdout
+
+
+def test_list_rules_flag():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--list-rules"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0
+    for code in RULES:
+        assert code in result.stdout
+
+
+def test_mypy_strict_on_substrate_if_available():
+    """Typecheck gate: strict on sim/flash/ftl/faults per pyproject.toml.
+
+    mypy is an optional tool, not a runtime dependency — when it is not
+    installed (the lab image ships without it) this skips and the CI
+    typecheck job is authoritative.
+    """
+    pytest.importorskip("mypy")
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
