@@ -10,7 +10,8 @@ stretches the tail, the classic reliability-vs-latency trade.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_fault_tail.py [--n-ops N]
-        [--rates R,R,...] [--seed S] [--out PATH]
+        [--rates R,R,...] [--seed S] [--out PATH] [--parallel N]
+        [--no-cache]
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ import argparse
 import json
 import sys
 
+from repro.exec.runner import SweepRunner
 from repro.faults.run import DEFAULT_RATES, run_fault_sweep
 
 
@@ -36,12 +38,21 @@ def main(argv: list | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--out", default="BENCH_fault_tail.json")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="worker processes for the sweep points "
+                             "(results are byte-identical at any N)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every point; skip .repro-cache/")
     args = parser.parse_args(argv)
 
     rates = [float(r) for r in args.rates.split(",") if r.strip()]
     if 0.0 not in rates:
         rates.insert(0, 0.0)
-    points = run_fault_sweep(rates=rates, n_ops=args.n_ops, seed=args.seed)
+    runner = SweepRunner(workers=args.parallel, cache=not args.no_cache)
+    points = run_fault_sweep(rates=rates, n_ops=args.n_ops, seed=args.seed,
+                             runner=runner)
+    if runner.last_report is not None:
+        print(runner.last_report.format(), file=sys.stderr)
 
     baselines = {
         p.personality: p.latency_summary()

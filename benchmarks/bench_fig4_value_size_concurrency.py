@@ -13,7 +13,7 @@ Paper findings this bench checks:
   back above 1 even at QD64 — the crossover the paper highlights.
 """
 
-from conftest import banner, run_once
+from conftest import banner, figure_runner, run_once
 
 from repro.core.figures import fig4_value_size_concurrency
 from repro.kvbench.report import format_table
@@ -26,7 +26,8 @@ def test_fig4_value_size_concurrency(benchmark):
     result = run_once(
         benchmark,
         lambda: fig4_value_size_concurrency(
-            value_sizes=SIZES, queue_depths=(1, 64), n_ops=1200
+            value_sizes=SIZES, queue_depths=(1, 64), n_ops=1200,
+            runner=figure_runner()
         ),
     )
 

@@ -11,7 +11,7 @@ Paper findings this bench checks:
   evidence for 32 KiB pages holding up to 24 KiB of value.
 """
 
-from conftest import banner, run_once
+from conftest import banner, figure_runner, run_once
 
 from repro.core.figures import fig5_packing_bandwidth
 from repro.kvbench.report import format_table
@@ -19,7 +19,7 @@ from repro.units import KIB
 
 
 def test_fig5_packing_bandwidth(benchmark):
-    result = run_once(benchmark, lambda: fig5_packing_bandwidth(n_ops=800))
+    result = run_once(benchmark, lambda: fig5_packing_bandwidth(n_ops=800, runner=figure_runner()))
 
     print(banner("Fig. 5 — write bandwidth vs value size (MiB/s)"))
     rows = [

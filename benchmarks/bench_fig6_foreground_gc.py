@@ -13,7 +13,7 @@ Paper findings this bench checks:
   finds fully dead blocks.
 """
 
-from conftest import banner, run_once
+from conftest import banner, figure_runner, run_once
 
 from repro.core.figures import fig6_foreground_gc
 from repro.kvbench.report import format_table, sparkline
@@ -21,7 +21,7 @@ from repro.kvbench.report import format_table, sparkline
 
 def test_fig6_foreground_gc(benchmark):
     result = run_once(
-        benchmark, lambda: fig6_foreground_gc(blocks_per_plane=4)
+        benchmark, lambda: fig6_foreground_gc(blocks_per_plane=4, runner=figure_runner())
     )
 
     print(banner("Fig. 6 — bandwidth during the update phase"))

@@ -11,14 +11,14 @@ Paper findings this bench checks:
 * the KVP limit this padding implies: ~3.1 billion pairs on 3.84 TB.
 """
 
-from conftest import banner, run_once
+from conftest import banner, figure_runner, run_once
 
 from repro.core.figures import fig7_space_amplification
 from repro.kvbench.report import format_table
 
 
 def test_fig7_space_amplification(benchmark):
-    result = run_once(benchmark, lambda: fig7_space_amplification())
+    result = run_once(benchmark, lambda: fig7_space_amplification(runner=figure_runner()))
 
     print(banner("Fig. 7 — space amplification (device bytes / app bytes)"))
     rows = []

@@ -11,14 +11,14 @@ Paper findings this bench checks:
   steepest under asynchronous load, where the submission path saturates).
 """
 
-from conftest import banner, run_once
+from conftest import banner, figure_runner, run_once
 
 from repro.core.figures import fig8_key_size_bandwidth
 from repro.kvbench.report import format_table
 
 
 def test_fig8_key_size_bandwidth(benchmark):
-    result = run_once(benchmark, lambda: fig8_key_size_bandwidth(n_ops=1200))
+    result = run_once(benchmark, lambda: fig8_key_size_bandwidth(n_ops=1200, runner=figure_runner()))
 
     print(banner("Fig. 8 — store bandwidth vs key size (MiB/s)"))
     rows = [

@@ -3,14 +3,23 @@
 Usage::
 
     python -m repro fig5
+    python -m repro fig fig4 --parallel 4
     python -m repro fig3 --measured-ops 2000
     python -m repro headline
-    python -m repro all
+    python -m repro all --parallel 2
 
 Each subcommand runs the corresponding experiment from
 :mod:`repro.core.figures` and prints the same rows/series the paper's
 figure shows (the pytest benches add paper-vs-measured assertions on
 top of the identical experiment functions).
+
+``--parallel N`` fans each experiment's independent points over ``N``
+worker processes; results are assembled in spec order, so the printed
+figure output is byte-identical to a serial run.  Computed points land
+in an on-disk cache (``.repro-cache/``, disable with ``--no-cache``)
+keyed by a content hash of the cell inputs and a code-version salt, so
+re-running a figure only recomputes what changed.  Cache/worker
+statistics go to stderr; stdout carries only the figure output.
 """
 
 from __future__ import annotations
@@ -18,7 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.core.figures import (
     fig2_end_to_end,
@@ -30,12 +39,13 @@ from repro.core.figures import (
     fig8_key_size_bandwidth,
 )
 from repro.core.headline import headline_scalars
+from repro.exec.runner import SweepRunner
 from repro.kvbench.report import format_table, sparkline
 from repro.units import KIB
 
 
-def _print_fig2(args: argparse.Namespace) -> None:
-    result = fig2_end_to_end(n_ops=args.n_ops)
+def _print_fig2(args: argparse.Namespace, runner: Optional[SweepRunner]) -> None:
+    result = fig2_end_to_end(n_ops=args.n_ops, runner=runner)
     rows = []
     for system in result.latency_us:
         for pattern, phases in result.latency_us[system].items():
@@ -48,8 +58,8 @@ def _print_fig2(args: argparse.Namespace) -> None:
           {k: round(v, 1) for k, v in result.cpu_us_per_op.items()})
 
 
-def _print_fig3(args: argparse.Namespace) -> None:
-    result = fig3_index_occupancy(measured_ops=args.measured_ops)
+def _print_fig3(args: argparse.Namespace, runner: Optional[SweepRunner]) -> None:
+    result = fig3_index_occupancy(measured_ops=args.measured_ops, runner=runner)
     rows = []
     for device in ("kv", "block"):
         for occupancy in ("low", "high"):
@@ -61,8 +71,8 @@ def _print_fig3(args: argparse.Namespace) -> None:
           "(paper 2x)")
 
 
-def _print_fig4(args: argparse.Namespace) -> None:
-    result = fig4_value_size_concurrency(n_ops=args.n_ops)
+def _print_fig4(args: argparse.Namespace, runner: Optional[SweepRunner]) -> None:
+    result = fig4_value_size_concurrency(n_ops=args.n_ops, runner=runner)
     rows = []
     for size in result.value_sizes:
         rows.append([
@@ -76,8 +86,8 @@ def _print_fig4(args: argparse.Namespace) -> None:
     print("\nKV/block mean-latency ratios; <1 favors the KV-SSD")
 
 
-def _print_fig5(args: argparse.Namespace) -> None:
-    result = fig5_packing_bandwidth(n_ops=args.n_ops)
+def _print_fig5(args: argparse.Namespace, runner: Optional[SweepRunner]) -> None:
+    result = fig5_packing_bandwidth(n_ops=args.n_ops, runner=runner)
     rows = [
         [f"{size / KIB:g}KiB", result.kv_mib_s[size],
          result.block_mib_s[size], result.kv_fragments[size]]
@@ -86,8 +96,8 @@ def _print_fig5(args: argparse.Namespace) -> None:
     print(format_table(["value", "KV MiB/s", "block MiB/s", "fragments"], rows))
 
 
-def _print_fig6(args: argparse.Namespace) -> None:
-    result = fig6_foreground_gc()
+def _print_fig6(args: argparse.Namespace, runner: Optional[SweepRunner]) -> None:
+    result = fig6_foreground_gc(runner=runner)
     for scenario, series in result.series.items():
         summary = result.stats_summary[scenario]
         latency = result.latency_summary[scenario]
@@ -100,8 +110,8 @@ def _print_fig6(args: argparse.Namespace) -> None:
               f"{sparkline(series[:48])}")
 
 
-def _print_fig7(args: argparse.Namespace) -> None:
-    result = fig7_space_amplification()
+def _print_fig7(args: argparse.Namespace, runner: Optional[SweepRunner]) -> None:
+    result = fig7_space_amplification(runner=runner)
     rows = [
         [f"{size}B", result.sa["kvssd"][size], result.kv_analytic[size],
          result.sa["aerospike"][size], result.sa["rocksdb"][size]]
@@ -114,8 +124,8 @@ def _print_fig7(args: argparse.Namespace) -> None:
           "(paper ~3.1B)")
 
 
-def _print_fig8(args: argparse.Namespace) -> None:
-    result = fig8_key_size_bandwidth(n_ops=args.n_ops)
+def _print_fig8(args: argparse.Namespace, runner: Optional[SweepRunner]) -> None:
+    result = fig8_key_size_bandwidth(n_ops=args.n_ops, runner=runner)
     rows = [
         [f"{k}B", result.commands[k], result.mib_s["sync"][k],
          result.mib_s["async"][k]]
@@ -126,18 +136,19 @@ def _print_fig8(args: argparse.Namespace) -> None:
           "(paper ~0.53x)")
 
 
-def _print_headline(args: argparse.Namespace) -> None:
+def _print_headline(args: argparse.Namespace, runner: Optional[SweepRunner]) -> None:
+    del runner  # scalar summaries; nothing to fan out
     result = headline_scalars()
     print(format_table(["metric", "paper", "measured"], result.rows()))
 
 
-def _print_trace(args: argparse.Namespace) -> None:
+def _print_trace(args: argparse.Namespace, runner: Optional[SweepRunner]) -> None:
     # Imported lazily so the figure subcommands never pay for the trace
     # machinery (and vice versa).
     from repro.trace.export import format_breakdown, write_chrome_trace
     from repro.trace.run import run_traced
 
-    report = run_traced(fig=args.fig)
+    report = run_traced(fig=args.fig, n_ops=args.trace_ops, runner=runner)
     print(f"scenario: {args.fig} — {report.scenario.focus}")
     for personality in ("kv-ssd", "block-ssd"):
         run = report.runs[personality]
@@ -152,7 +163,7 @@ def _print_trace(args: argparse.Namespace) -> None:
               "spans; raise max_spans for a complete timeline")
 
 
-def _print_faults(args: argparse.Namespace) -> None:
+def _print_faults(args: argparse.Namespace, runner: Optional[SweepRunner]) -> None:
     # Lazy import, like trace: figure subcommands never pay for it.
     from repro.faults.run import run_fault_sweep, write_sweep_csv
 
@@ -161,7 +172,7 @@ def _print_faults(args: argparse.Namespace) -> None:
     except ValueError:
         raise SystemExit(f"bad --fault-rates value: {args.fault_rates!r}")
     points = run_fault_sweep(rates=rates, n_ops=args.n_ops,
-                             seed=args.fault_seed)
+                             seed=args.fault_seed, runner=runner)
     rows = []
     for point in points:
         latency = point.latency_summary()
@@ -187,7 +198,7 @@ def _print_faults(args: argparse.Namespace) -> None:
         print(f"wrote {written} sweep rows to {args.faults_out}")
 
 
-_COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+_COMMANDS: Dict[str, Callable[[argparse.Namespace, Optional[SweepRunner]], None]] = {
     "fig2": _print_fig2,
     "fig3": _print_fig3,
     "fig4": _print_fig4,
@@ -210,14 +221,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all", "trace", "faults", "lint"],
+        choices=sorted(_COMMANDS) + ["all", "fig", "trace", "faults", "lint"],
         help=(
-            "which figure (or 'headline'/'all') to regenerate, 'trace' "
-            "to record a span trace of a figure-shaped workload, "
-            "'faults' to sweep statistical fault rates on both "
-            "personalities, or 'lint' to run the simlint static-"
-            "analysis pass (extra args go to repro.lint)"
+            "which figure (or 'headline'/'all') to regenerate — 'fig' "
+            "with a figure name as the next argument also works "
+            "('repro fig fig4 --parallel 4') — 'trace' to record a span "
+            "trace of a figure-shaped workload, 'faults' to sweep "
+            "statistical fault rates on both personalities, or 'lint' "
+            "to run the simlint static-analysis pass (extra args go to "
+            "repro.lint)"
         ),
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        choices=sorted(_COMMANDS) + ["all", None],
+        help="with 'fig': which figure to regenerate",
+    )
+    parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help=(
+            "worker processes for independent experiment points "
+            "(default: 1 = serial; output is byte-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every point; do not read or write .repro-cache/",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="result-cache directory (default: .repro-cache)",
     )
     parser.add_argument(
         "--n-ops", type=int, default=1200,
@@ -230,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--fig", default="fig6", metavar="FIG",
         help="trace: which figure-shaped scenario to record (default: fig6)",
+    )
+    parser.add_argument(
+        "--trace-ops", type=int, default=None, metavar="N",
+        help="trace: measured ops per personality "
+             "(default: the scenario's own count)",
     )
     parser.add_argument(
         "--out", default="trace.json", metavar="PATH",
@@ -262,25 +300,48 @@ def main(argv: List[str] | None = None) -> int:
 
         return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
-    if args.experiment in ("trace", "faults"):
+    experiment = args.experiment
+    if experiment == "fig":
+        # 'repro fig fig4' meta-form: the figure rides in as the target.
+        if args.target is None:
+            raise SystemExit("repro fig: name a figure, e.g. 'repro fig fig4'")
+        experiment = args.target
+    elif args.target is not None:
+        raise SystemExit(
+            f"unexpected argument {args.target!r} after {experiment!r}"
+        )
+    if args.parallel < 1:
+        raise SystemExit(f"--parallel must be >= 1, got {args.parallel}")
+    runner = SweepRunner(
+        workers=args.parallel,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    if experiment in ("trace", "faults"):
         # Excluded from 'all': these are diagnostic passes (a trace file,
         # a reliability sweep), not figure regenerations.
-        names = [args.experiment]
+        names = [experiment]
         commands = {"trace": _print_trace, "faults": _print_faults}
-    elif args.experiment == "all":
+    elif experiment == "all":
         names = sorted(_COMMANDS)
         commands = _COMMANDS
     else:
-        names = [args.experiment]
+        names = [experiment]
         commands = _COMMANDS
+    reported = 0
     for name in names:
         print(f"\n=== {name} ===")
         # Host-side progress reporting for the human running the CLI —
         # not simulation state, so the wall clock is the right clock.
         started = time.time()  # simlint: disable=SIM001
-        commands[name](args)
+        commands[name](args, runner)
         elapsed = time.time() - started  # simlint: disable=SIM001
         print(f"[{name} done in {elapsed:.1f}s]")
+        # Exec statistics go to stderr so stdout stays pure figure
+        # output (byte-comparable across worker counts).
+        for report in runner.reports[reported:]:
+            print(report.format(), file=sys.stderr)
+        reported = len(runner.reports)
     return 0
 
 

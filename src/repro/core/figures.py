@@ -8,6 +8,15 @@ structured result the benchmarks print and EXPERIMENTS.md records.
 Run sizes are scaled from the paper's (10 M+ operations on a 3.84 TB
 drive) to laptop-feasible counts at *matched relative state* — see
 DESIGN.md section 6 for the scaling discipline.
+
+Every figure is internally a *sweep of independent cells* (one fresh
+rig per cell), expressed as module-level ``_figN_*_cell`` functions and
+a :class:`~repro.exec.spec.SweepSpec`.  Pass ``runner=`` (a
+:class:`~repro.exec.runner.SweepRunner`) to fan cells out over a
+process pool and/or reuse cached cell results; without a runner the
+cells execute inline, serially, exactly as the original loops did.
+Results are always assembled in spec order, so the figure output is
+byte-identical at any worker count.
 """
 
 from __future__ import annotations
@@ -24,6 +33,8 @@ from repro.core.experiment import (
 )
 from repro.core.model import device_stats_summary
 from repro.errors import ConfigurationError
+from repro.exec.runner import SweepRunner, execute_spec
+from repro.exec.spec import SweepPoint, SweepSpec
 from repro.kvbench.runner import execute_workload
 from repro.kvbench.workload import (
     Pattern,
@@ -86,6 +97,48 @@ _FIG2_PATTERNS = {
 }
 
 
+def _fig2_cell(
+    system: str,
+    pattern_name: str,
+    n_ops: int,
+    value_bytes: int,
+    queue_depth: int,
+    blocks_per_plane: int,
+) -> Dict[str, object]:
+    """One (system, pattern) cell: insert, update, read on a fresh rig."""
+    pattern = _FIG2_PATTERNS[pattern_name]
+    rig = _FIG2_BUILDERS[system](lab_geometry(blocks_per_plane))
+    phases: Dict[str, float] = {}
+    cpu_before = rig.cpu.total_busy_us
+    ops_counted = 0
+    for phase, op_kind in (
+        ("insert", "insert"),
+        ("update", "update"),
+        ("read", "read"),
+    ):
+        spec = WorkloadSpec(
+            n_ops=n_ops,
+            op=op_kind,
+            pattern=pattern,
+            population=n_ops,
+            key_scheme=PAPER_SCHEME,
+            value_bytes=value_bytes,
+            seed=11,
+        )
+        run = execute_workload(
+            rig.env,
+            rig.adapter,
+            generate_operations(spec),
+            queue_depth=queue_depth,
+            name=f"fig2.{system}.{pattern_name}.{phase}",
+        )
+        phases[phase] = run.latency.mean()
+        ops_counted += run.completed_ops
+        _drain(rig)
+    cpu_us_per_op = (rig.cpu.total_busy_us - cpu_before) / max(1, ops_counted)
+    return {"phases": phases, "cpu_us_per_op": cpu_us_per_op}
+
+
 def fig2_end_to_end(
     n_ops: int = 4000,
     value_bytes: int = 4 * KIB,
@@ -93,6 +146,7 @@ def fig2_end_to_end(
     systems: Sequence[str] = ("kvssd", "rocksdb", "aerospike"),
     patterns: Sequence[str] = ("seq", "rand", "zipf"),
     blocks_per_plane: int = 24,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig2Result:
     """Fig. 2: insert/update/read latency across systems and patterns.
 
@@ -100,47 +154,36 @@ def fig2_end_to_end(
     keys and ``value_bytes`` values in pattern order, then updates, then
     reads — all asynchronously at ``queue_depth``, as in the paper.
     """
-    result = Fig2Result(n_ops, value_bytes, queue_depth)
     for system in systems:
-        builder = _FIG2_BUILDERS.get(system)
-        if builder is None:
+        if system not in _FIG2_BUILDERS:
             raise ConfigurationError(f"unknown fig2 system {system!r}")
+    points = tuple(
+        SweepPoint(
+            label=f"{system}/{pattern_name}",
+            fn=_fig2_cell,
+            kwargs=dict(
+                system=system,
+                pattern_name=pattern_name,
+                n_ops=n_ops,
+                value_bytes=value_bytes,
+                queue_depth=queue_depth,
+                blocks_per_plane=blocks_per_plane,
+            ),
+        )
+        for system in systems
+        for pattern_name in patterns
+    )
+    cells = execute_spec(SweepSpec("fig2", points), runner)
+    result = Fig2Result(n_ops, value_bytes, queue_depth)
+    index = 0
+    for system in systems:
         result.latency_us[system] = {}
         cpu_samples: List[float] = []
         for pattern_name in patterns:
-            pattern = _FIG2_PATTERNS[pattern_name]
-            rig = builder(lab_geometry(blocks_per_plane))
-            phases: Dict[str, float] = {}
-            cpu_before = rig.cpu.total_busy_us
-            ops_counted = 0
-            for phase, op_kind in (
-                ("insert", "insert"),
-                ("update", "update"),
-                ("read", "read"),
-            ):
-                spec = WorkloadSpec(
-                    n_ops=n_ops,
-                    op=op_kind,
-                    pattern=pattern,
-                    population=n_ops,
-                    key_scheme=PAPER_SCHEME,
-                    value_bytes=value_bytes,
-                    seed=11,
-                )
-                run = execute_workload(
-                    rig.env,
-                    rig.adapter,
-                    generate_operations(spec),
-                    queue_depth=queue_depth,
-                    name=f"fig2.{system}.{pattern_name}.{phase}",
-                )
-                phases[phase] = run.latency.mean()
-                ops_counted += run.completed_ops
-                _drain(rig)
-            result.latency_us[system][pattern_name] = phases
-            cpu_samples.append(
-                (rig.cpu.total_busy_us - cpu_before) / max(1, ops_counted)
-            )
+            cell = cells[index]
+            index += 1
+            result.latency_us[system][pattern_name] = cell["phases"]
+            cpu_samples.append(cell["cpu_us_per_op"])
         result.cpu_us_per_op[system] = sum(cpu_samples) / len(cpu_samples)
     return result
 
@@ -229,19 +272,13 @@ def _fig3_measure_block(
     return out
 
 
-def fig3_index_occupancy(
-    value_bytes: int = 512,
-    low_fraction: float = 0.0005,
-    high_fraction: float = 0.95,
-    measured_ops: int = 1200,
-    blocks_per_plane: int = 32,
-) -> Fig3Result:
-    """Fig. 3: latency at low vs high index occupancy, KV vs block.
-
-    The paper fills 1.53 M (low) and 3 B (high) 512 B pairs on a 3.84 TB
-    drive; the defaults match those *fractions of the device's KVP limit*
-    on the scaled geometry.
-    """
+def _fig3_occupancies(
+    value_bytes: int,
+    low_fraction: float,
+    high_fraction: float,
+    blocks_per_plane: int,
+) -> Dict[str, int]:
+    """Low/high pair counts as fractions of the device's KVP limit."""
     from repro.kvftl.blob import blobs_per_page
 
     probe = build_kv_rig(lab_geometry(blocks_per_plane))
@@ -256,17 +293,50 @@ def fig3_index_occupancy(
         device.free_block_count() * device.array.geometry.pages_per_block
     ) * per_page
     max_kvps = min(device.max_kvps, int(physical_max * 0.9))
-    low = max(1000, int(max_kvps * low_fraction))
-    high = int(max_kvps * high_fraction)
-    result = Fig3Result(low_kvps=low, high_kvps=high, value_bytes=value_bytes)
-    result.latency_us["kv"] = {
-        "low": _fig3_measure_kv(low, value_bytes, measured_ops, blocks_per_plane),
-        "high": _fig3_measure_kv(high, value_bytes, measured_ops, blocks_per_plane),
+    return {
+        "low": max(1000, int(max_kvps * low_fraction)),
+        "high": int(max_kvps * high_fraction),
     }
-    result.latency_us["block"] = {
-        "low": _fig3_measure_block(low, value_bytes, measured_ops, blocks_per_plane),
-        "high": _fig3_measure_block(high, value_bytes, measured_ops, blocks_per_plane),
-    }
+
+
+def fig3_index_occupancy(
+    value_bytes: int = 512,
+    low_fraction: float = 0.0005,
+    high_fraction: float = 0.95,
+    measured_ops: int = 1200,
+    blocks_per_plane: int = 32,
+    runner: Optional[SweepRunner] = None,
+) -> Fig3Result:
+    """Fig. 3: latency at low vs high index occupancy, KV vs block.
+
+    The paper fills 1.53 M (low) and 3 B (high) 512 B pairs on a 3.84 TB
+    drive; the defaults match those *fractions of the device's KVP limit*
+    on the scaled geometry.
+    """
+    kvps = _fig3_occupancies(
+        value_bytes, low_fraction, high_fraction, blocks_per_plane
+    )
+    cell_fns = {"kv": _fig3_measure_kv, "block": _fig3_measure_block}
+    points = tuple(
+        SweepPoint(
+            label=f"{device}/{occupancy}",
+            fn=cell_fns[device],
+            kwargs=dict(
+                kvps=kvps[occupancy],
+                value_bytes=value_bytes,
+                measured_ops=measured_ops,
+                blocks_per_plane=blocks_per_plane,
+            ),
+        )
+        for device in ("kv", "block")
+        for occupancy in ("low", "high")
+    )
+    cells = execute_spec(SweepSpec("fig3", points), runner)
+    result = Fig3Result(
+        low_kvps=kvps["low"], high_kvps=kvps["high"], value_bytes=value_bytes
+    )
+    result.latency_us["kv"] = {"low": cells[0], "high": cells[1]}
+    result.latency_us["block"] = {"low": cells[2], "high": cells[3]}
     return result
 
 
@@ -294,12 +364,30 @@ def fig4_value_size_concurrency(
     queue_depths: Sequence[int] = (1, 64),
     n_ops: int = 1200,
     blocks_per_plane: int = 24,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig4Result:
     """Fig. 4: direct-access latency ratio vs value size and queue depth.
 
     Same operation count per cell (the paper uses 1.53 M per value size);
     writes go to fresh keys, reads hit the just-written population.
     """
+    cell_fns = {"kv": _fig4_kv_cell, "block": _fig4_block_cell}
+    points = tuple(
+        SweepPoint(
+            label=f"{device}/qd{queue_depth}/{size}",
+            fn=cell_fns[device],
+            kwargs=dict(
+                size=size,
+                queue_depth=queue_depth,
+                n_ops=n_ops,
+                blocks_per_plane=blocks_per_plane,
+            ),
+        )
+        for queue_depth in queue_depths
+        for size in value_sizes
+        for device in ("kv", "block")
+    )
+    cells = execute_spec(SweepSpec("fig4", points), runner)
     result = Fig4Result(list(value_sizes), list(queue_depths))
     for op in ("read", "write"):
         result.ratio[op] = {qd: {} for qd in queue_depths}
@@ -307,10 +395,11 @@ def fig4_value_size_concurrency(
         result.latency_us[device] = {
             op: {qd: {} for qd in queue_depths} for op in ("read", "write")
         }
+    index = 0
     for queue_depth in queue_depths:
         for size in value_sizes:
-            kv = _fig4_kv_cell(size, queue_depth, n_ops, blocks_per_plane)
-            block = _fig4_block_cell(size, queue_depth, n_ops, blocks_per_plane)
+            kv, block = cells[index], cells[index + 1]
+            index += 2
             for op in ("read", "write"):
                 result.latency_us["kv"][op][queue_depth][size] = kv[op]
                 result.latency_us["block"][op][queue_depth][size] = block[op]
@@ -462,6 +551,7 @@ def fig5_packing_bandwidth(
     n_ops: int = 800,
     queue_depth: int = 32,
     blocks_per_plane: int = 24,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig5Result:
     """Fig. 5: write bandwidth sweep across the page-boundary sizes.
 
@@ -470,38 +560,72 @@ def fig5_packing_bandwidth(
     block device stays smooth.
     """
     result = Fig5Result(list(value_sizes))
+    cell_fns = {"kv": _fig5_kv_cell, "block": _fig5_block_cell}
+    points = tuple(
+        SweepPoint(
+            label=f"{device}/{size}",
+            fn=cell_fns[device],
+            kwargs=dict(
+                size=size,
+                n_ops=n_ops,
+                queue_depth=queue_depth,
+                blocks_per_plane=blocks_per_plane,
+            ),
+        )
+        for size in value_sizes
+        for device in ("kv", "block")
+    )
+    cells = execute_spec(SweepSpec("fig5", points), runner)
+    index = 0
     for size in value_sizes:
-        kv_rig = build_kv_rig(lab_geometry(blocks_per_plane))
-        result.kv_fragments[size] = len(
-            kv_rig.device.layout_for(PAPER_KEY_BYTES, size).fragments
-        )
-        spec = WorkloadSpec(
-            n_ops=n_ops,
-            op="insert",
-            pattern=Pattern.SEQUENTIAL,
-            key_scheme=PAPER_SCHEME,
-            value_bytes=size,
-            seed=41,
-        )
-        run = execute_workload(
-            kv_rig.env,
-            kv_rig.adapter,
-            generate_operations(spec),
-            queue_depth=queue_depth,
-            name=f"fig5.kv.{size}",
-        )
-        result.kv_mib_s[size] = run.bandwidth.overall_mib_per_sec()
-
-        block_rig = build_block_rig(lab_geometry(blocks_per_plane))
-        run = execute_workload(
-            block_rig.env,
-            block_rig.adapter(size),
-            generate_operations(spec),
-            queue_depth=queue_depth,
-            name=f"fig5.blk.{size}",
-        )
-        result.block_mib_s[size] = run.bandwidth.overall_mib_per_sec()
+        kv, block = cells[index], cells[index + 1]
+        index += 2
+        result.kv_fragments[size] = kv["fragments"]
+        result.kv_mib_s[size] = kv["mib_s"]
+        result.block_mib_s[size] = block
     return result
+
+
+def _fig5_workload(size: int, n_ops: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        n_ops=n_ops,
+        op="insert",
+        pattern=Pattern.SEQUENTIAL,
+        key_scheme=PAPER_SCHEME,
+        value_bytes=size,
+        seed=41,
+    )
+
+
+def _fig5_kv_cell(
+    size: int, n_ops: int, queue_depth: int, blocks_per_plane: int
+) -> Dict[str, object]:
+    """One KV bandwidth cell plus the blob fragment count at ``size``."""
+    kv_rig = build_kv_rig(lab_geometry(blocks_per_plane))
+    fragments = len(kv_rig.device.layout_for(PAPER_KEY_BYTES, size).fragments)
+    run = execute_workload(
+        kv_rig.env,
+        kv_rig.adapter,
+        generate_operations(_fig5_workload(size, n_ops)),
+        queue_depth=queue_depth,
+        name=f"fig5.kv.{size}",
+    )
+    return {"mib_s": run.bandwidth.overall_mib_per_sec(), "fragments": fragments}
+
+
+def _fig5_block_cell(
+    size: int, n_ops: int, queue_depth: int, blocks_per_plane: int
+) -> float:
+    """One block-device bandwidth cell at ``size``."""
+    block_rig = build_block_rig(lab_geometry(blocks_per_plane))
+    run = execute_workload(
+        block_rig.env,
+        block_rig.adapter(size),
+        generate_operations(_fig5_workload(size, n_ops)),
+        queue_depth=queue_depth,
+        name=f"fig5.blk.{size}",
+    )
+    return run.bandwidth.overall_mib_per_sec()
 
 
 # ---------------------------------------------------------------------------
@@ -534,28 +658,19 @@ class Fig6Result:
         return min(windows) / head
 
 
-def fig6_foreground_gc(
-    fill_fraction: float = 0.8,
-    value_bytes: int = 4 * KIB,
-    n_updates: Optional[int] = None,
-    queue_depth: int = 16,
-    window_us: float = 200_000.0,
-    blocks_per_plane: int = 8,
-    scenarios: Sequence[str] = ("kv-uniform", "kv-window", "rocksdb-uniform"),
-) -> Fig6Result:
-    """Fig. 6: fill 80% of the device, then update everything randomly.
+def _fig6_fill_kvps(
+    fill_fraction: float, value_bytes: int, blocks_per_plane: int
+) -> int:
+    """Pair count that fills ``fill_fraction`` of the page capacity.
 
-    The KV scenarios (uniform and sliding-window pseudo-random) collapse
-    into foreground GC once over-provisioning is exhausted; RocksDB on
-    block (whose compaction TRIMs whole files) does not.
+    "80% full" is meant physically: 80% of the device's page capacity
+    (blob packing wastes a page fraction, so byte-based sizing would
+    overshoot), with allocation-stream/GC margin excluded.
     """
     from repro.kvftl.blob import blobs_per_page
 
     geometry = lab_geometry(blocks_per_plane)
     probe = build_kv_rig(geometry)
-    # "80% full" is meant physically: 80% of the device's page capacity
-    # (blob packing wastes a page fraction, so byte-based sizing would
-    # overshoot), with allocation-stream/GC margin excluded.
     per_page = blobs_per_page(
         PAPER_SCHEME.key_bytes,
         value_bytes,
@@ -564,90 +679,149 @@ def fig6_foreground_gc(
     )
     margin_blocks = probe.device.config.stream_width + 16
     fill_blocks = probe.device.free_block_count() - margin_blocks
-    fill_kvps = int(
+    return int(
         fill_blocks * geometry.pages_per_block * per_page * fill_fraction
     )
+
+
+def _fig6_scenario_cell(
+    scenario: str,
+    fill_kvps: int,
+    fill_fraction: float,
+    value_bytes: int,
+    n_updates: int,
+    queue_depth: int,
+    window_us: float,
+    blocks_per_plane: int,
+) -> Dict[str, object]:
+    """One Fig. 6 scenario: prime the fill, then sustained updates."""
+    geometry = lab_geometry(blocks_per_plane)
+    if scenario.startswith("kv-"):
+        rig = build_kv_rig(geometry)
+        scheme = KeyScheme(prefix=b"fill", digits=12)
+        rig.device.fast_fill(fill_kvps, value_bytes, scheme)
+        pattern = (
+            Pattern.UNIFORM
+            if scenario == "kv-uniform"
+            else Pattern.SLIDING_WINDOW
+        )
+        spec = WorkloadSpec(
+            n_ops=n_updates,
+            op="update",
+            pattern=pattern,
+            population=fill_kvps,
+            key_scheme=scheme,
+            value_bytes=value_bytes,
+            seed=47,
+        )
+        run = execute_workload(
+            rig.env,
+            rig.adapter,
+            generate_operations(spec),
+            queue_depth=queue_depth,
+            bandwidth_window_us=window_us,
+            name=f"fig6.{scenario}",
+            stop_after_us=45e6,
+        )
+    else:
+        rig = build_lsm_rig(geometry)
+        # The scenario's purpose is the *device-level* contrast (no
+        # foreground GC under compaction+TRIM), so the LSM population
+        # is sized to the update count rather than to raw capacity —
+        # compacting a capacity-sized tree would dominate runtime
+        # without changing the device-side observation.
+        fs_budget = int(
+            rig.device.user_capacity_bytes * fill_fraction * 0.45
+        )
+        lsm_kvps = min(
+            n_updates,
+            fs_budget // (PAPER_SCHEME.key_bytes + value_bytes),
+        )
+        entries = {
+            PAPER_SCHEME.key_for(i): value_bytes for i in range(lsm_kvps)
+        }
+        rig.store.prime_fill(entries, level=3)
+        spec = WorkloadSpec(
+            n_ops=n_updates,
+            op="update",
+            pattern=Pattern.UNIFORM,
+            population=lsm_kvps,
+            key_scheme=PAPER_SCHEME,
+            value_bytes=value_bytes,
+            seed=47,
+        )
+        run = execute_workload(
+            rig.env,
+            rig.adapter,
+            generate_operations(spec),
+            queue_depth=queue_depth,
+            bandwidth_window_us=window_us,
+            name=f"fig6.{scenario}",
+            stop_after_us=45e6,
+        )
+    # The runner captured the DeviceStats delta for the measured phase;
+    # both personalities report through the same struct, so the two
+    # scenario branches need no per-device counter reads.
+    return {
+        "foreground_gc_runs": run.device_stats.foreground_gc_runs,
+        "stats_summary": device_stats_summary(run.device_stats),
+        "latency_summary": run.latency.summary().as_dict(),
+        "series": run.bandwidth.series_mib_per_sec(),
+    }
+
+
+def fig6_foreground_gc(
+    fill_fraction: float = 0.8,
+    value_bytes: int = 4 * KIB,
+    n_updates: Optional[int] = None,
+    queue_depth: int = 16,
+    window_us: float = 200_000.0,
+    blocks_per_plane: int = 8,
+    scenarios: Sequence[str] = ("kv-uniform", "kv-window", "rocksdb-uniform"),
+    runner: Optional[SweepRunner] = None,
+) -> Fig6Result:
+    """Fig. 6: fill 80% of the device, then update everything randomly.
+
+    The KV scenarios (uniform and sliding-window pseudo-random) collapse
+    into foreground GC once over-provisioning is exhausted; RocksDB on
+    block (whose compaction TRIMs whole files) does not.
+    """
+    known = ("kv-uniform", "kv-window", "rocksdb-uniform")
+    for scenario in scenarios:
+        if scenario not in known:
+            raise ConfigurationError(f"unknown fig6 scenario {scenario!r}")
+    fill_kvps = _fig6_fill_kvps(fill_fraction, value_bytes, blocks_per_plane)
     if n_updates is None:
         # Enough updates to exhaust free space and enter the foreground-GC
         # regime; the measured phase is additionally duration-bounded
-        # (stop_after_us below), because inside the collapse the device
-        # serves updates arbitrarily slowly — exactly the paper's point.
+        # (stop_after_us in the cell), because inside the collapse the
+        # device serves updates arbitrarily slowly — exactly the paper's
+        # point.
         n_updates = int(fill_kvps * 0.55)
+    points = tuple(
+        SweepPoint(
+            label=scenario,
+            fn=_fig6_scenario_cell,
+            kwargs=dict(
+                scenario=scenario,
+                fill_kvps=fill_kvps,
+                fill_fraction=fill_fraction,
+                value_bytes=value_bytes,
+                n_updates=n_updates,
+                queue_depth=queue_depth,
+                window_us=window_us,
+                blocks_per_plane=blocks_per_plane,
+            ),
+        )
+        for scenario in scenarios
+    )
+    cells = execute_spec(SweepSpec("fig6", points), runner)
     result = Fig6Result(fill_fraction, value_bytes, n_updates)
-
-    for scenario in scenarios:
-        if scenario.startswith("kv-"):
-            rig = build_kv_rig(geometry)
-            scheme = KeyScheme(prefix=b"fill", digits=12)
-            rig.device.fast_fill(fill_kvps, value_bytes, scheme)
-            pattern = (
-                Pattern.UNIFORM
-                if scenario == "kv-uniform"
-                else Pattern.SLIDING_WINDOW
-            )
-            spec = WorkloadSpec(
-                n_ops=n_updates,
-                op="update",
-                pattern=pattern,
-                population=fill_kvps,
-                key_scheme=scheme,
-                value_bytes=value_bytes,
-                seed=47,
-            )
-            run = execute_workload(
-                rig.env,
-                rig.adapter,
-                generate_operations(spec),
-                queue_depth=queue_depth,
-                bandwidth_window_us=window_us,
-                name=f"fig6.{scenario}",
-                stop_after_us=45e6,
-            )
-        elif scenario == "rocksdb-uniform":
-            rig = build_lsm_rig(geometry)
-            # The scenario's purpose is the *device-level* contrast (no
-            # foreground GC under compaction+TRIM), so the LSM population
-            # is sized to the update count rather than to raw capacity —
-            # compacting a capacity-sized tree would dominate runtime
-            # without changing the device-side observation.
-            fs_budget = int(
-                rig.device.user_capacity_bytes * fill_fraction * 0.45
-            )
-            lsm_kvps = min(
-                n_updates,
-                fs_budget // (PAPER_SCHEME.key_bytes + value_bytes),
-            )
-            entries = {
-                PAPER_SCHEME.key_for(i): value_bytes for i in range(lsm_kvps)
-            }
-            rig.store.prime_fill(entries, level=3)
-            spec = WorkloadSpec(
-                n_ops=n_updates,
-                op="update",
-                pattern=Pattern.UNIFORM,
-                population=lsm_kvps,
-                key_scheme=PAPER_SCHEME,
-                value_bytes=value_bytes,
-                seed=47,
-            )
-            run = execute_workload(
-                rig.env,
-                rig.adapter,
-                generate_operations(spec),
-                queue_depth=queue_depth,
-                bandwidth_window_us=window_us,
-                name=f"fig6.{scenario}",
-                stop_after_us=45e6,
-            )
-        else:
-            raise ConfigurationError(f"unknown fig6 scenario {scenario!r}")
-        # The runner captured the DeviceStats delta for the measured phase;
-        # both personalities report through the same struct, so the two
-        # scenario branches need no per-device counter reads.
-        result.foreground_gc_runs[scenario] = run.device_stats.foreground_gc_runs
-        result.stats_summary[scenario] = device_stats_summary(run.device_stats)
-        result.latency_summary[scenario] = run.latency.summary().as_dict()
-        result.series[scenario] = run.bandwidth.series_mib_per_sec()
+    for scenario, cell in zip(scenarios, cells):
+        result.foreground_gc_runs[scenario] = cell["foreground_gc_runs"]
+        result.stats_summary[scenario] = cell["stats_summary"]
+        result.latency_summary[scenario] = cell["latency_summary"]
+        result.series[scenario] = cell["series"]
     return result
 
 
@@ -668,10 +842,34 @@ class Fig7Result:
     max_kvps_full_scale: int = 0
 
 
+def _fig7_cell(
+    size: int, kvps: int, blocks_per_plane: int
+) -> Dict[str, float]:
+    """One value size: measured KV-SSD, analytic KV, and Aerospike SA."""
+    kv_config = KVSSDConfig()
+    kv_rig = build_kv_rig(lab_geometry(blocks_per_plane))
+    count = min(kvps, kv_rig.device.max_kvps - 1)
+    kv_rig.device.fast_fill(count, size, KeyScheme(prefix=b"fill", digits=12))
+    cell = {
+        "kvssd": kv_rig.device.stats.space_amplification(),
+        "analytic": space_amplification(
+            PAPER_SCHEME.key_bytes,
+            size,
+            kv_rig.device.array.geometry.page_bytes,
+            kv_config,
+        ),
+    }
+    hash_rig = build_hash_rig(lab_geometry(blocks_per_plane))
+    hash_rig.store.fast_fill(kvps, size, KeyScheme(prefix=b"fill", digits=12))
+    cell["aerospike"] = hash_rig.store.space_amplification()
+    return cell
+
+
 def fig7_space_amplification(
     value_sizes: Sequence[int] = (50, 100, 200, 500, 1024, 2048, 4096),
     kvps: int = 20000,
     blocks_per_plane: int = 24,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig7Result:
     """Fig. 7: measured space amplification across value sizes.
 
@@ -679,25 +877,21 @@ def fig7_space_amplification(
     values), Aerospike its 16 B rounding plus ~55 B of record overhead
     (<2x), RocksDB its leveled obsolescence (~1.11x steady state).
     """
+    points = tuple(
+        SweepPoint(
+            label=f"sa/{size}",
+            fn=_fig7_cell,
+            kwargs=dict(size=size, kvps=kvps, blocks_per_plane=blocks_per_plane),
+        )
+        for size in value_sizes
+    )
+    cells = execute_spec(SweepSpec("fig7", points), runner)
     result = Fig7Result(list(value_sizes))
     result.sa = {"kvssd": {}, "aerospike": {}, "rocksdb": {}}
-    kv_config = KVSSDConfig()
-    for size in value_sizes:
-        kv_rig = build_kv_rig(lab_geometry(blocks_per_plane))
-        count = min(kvps, kv_rig.device.max_kvps - 1)
-        kv_rig.device.fast_fill(count, size, KeyScheme(prefix=b"fill", digits=12))
-        result.sa["kvssd"][size] = kv_rig.device.stats.space_amplification()
-        result.kv_analytic[size] = space_amplification(
-            PAPER_SCHEME.key_bytes,
-            size,
-            kv_rig.device.array.geometry.page_bytes,
-            kv_config,
-        )
-
-        hash_rig = build_hash_rig(lab_geometry(blocks_per_plane))
-        hash_rig.store.fast_fill(kvps, size, KeyScheme(prefix=b"fill", digits=12))
-        result.sa["aerospike"][size] = hash_rig.store.space_amplification()
-
+    for size, cell in zip(value_sizes, cells):
+        result.sa["kvssd"][size] = cell["kvssd"]
+        result.kv_analytic[size] = cell["analytic"]
+        result.sa["aerospike"][size] = cell["aerospike"]
         result.sa["rocksdb"][size] = _rocksdb_steady_state_sa(size)
     full_scale = build_kv_rig(lab_geometry(blocks_per_plane))
     config = full_scale.device.config
@@ -745,42 +939,71 @@ class Fig8Result:
         return self.mib_s[mode][past] / self.mib_s[mode][at_limit]
 
 
+def _fig8_cell(
+    key_bytes: int,
+    mode: str,
+    value_bytes: int,
+    n_ops: int,
+    queue_depth: int,
+    blocks_per_plane: int,
+) -> float:
+    """One (key size, sync/async) bandwidth cell."""
+    # Build a scheme whose keys are exactly key_bytes long.
+    digits = min(12, key_bytes - 1)
+    scheme = KeyScheme(prefix=b"k" * (key_bytes - digits), digits=digits)
+    rig = build_kv_rig(lab_geometry(blocks_per_plane), sync=mode == "sync")
+    spec = WorkloadSpec(
+        n_ops=n_ops,
+        op="insert",
+        pattern=Pattern.SEQUENTIAL,
+        key_scheme=scheme,
+        value_bytes=value_bytes,
+        seed=53,
+    )
+    run = execute_workload(
+        rig.env,
+        rig.adapter,
+        generate_operations(spec),
+        queue_depth=queue_depth,
+        name=f"fig8.{mode}.k{key_bytes}",
+    )
+    return run.bandwidth.overall_mib_per_sec()
+
+
 def fig8_key_size_bandwidth(
     key_sizes: Sequence[int] = (4, 8, 16, 24, 64, 128, 255),
     value_bytes: int = 1024,
     n_ops: int = 1500,
     async_queue_depth: int = 32,
     blocks_per_plane: int = 24,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig8Result:
     """Fig. 8: bandwidth vs key size; keys >16 B need a second command."""
     from repro.nvme.command import commands_for_key
 
+    points = tuple(
+        SweepPoint(
+            label=f"{mode}/k{key_bytes}",
+            fn=_fig8_cell,
+            kwargs=dict(
+                key_bytes=key_bytes,
+                mode=mode,
+                value_bytes=value_bytes,
+                n_ops=n_ops,
+                queue_depth=1 if mode == "sync" else async_queue_depth,
+                blocks_per_plane=blocks_per_plane,
+            ),
+        )
+        for key_bytes in key_sizes
+        for mode in ("sync", "async")
+    )
+    cells = execute_spec(SweepSpec("fig8", points), runner)
     result = Fig8Result(list(key_sizes), value_bytes)
     result.mib_s = {"sync": {}, "async": {}}
+    index = 0
     for key_bytes in key_sizes:
         result.commands[key_bytes] = commands_for_key(key_bytes)
-        # Build a scheme whose keys are exactly key_bytes long.
-        digits = min(12, key_bytes - 1)
-        scheme = KeyScheme(prefix=b"k" * (key_bytes - digits), digits=digits)
-        for mode, sync, queue_depth in (
-            ("sync", True, 1),
-            ("async", False, async_queue_depth),
-        ):
-            rig = build_kv_rig(lab_geometry(blocks_per_plane), sync=sync)
-            spec = WorkloadSpec(
-                n_ops=n_ops,
-                op="insert",
-                pattern=Pattern.SEQUENTIAL,
-                key_scheme=scheme,
-                value_bytes=value_bytes,
-                seed=53,
-            )
-            run = execute_workload(
-                rig.env,
-                rig.adapter,
-                generate_operations(spec),
-                queue_depth=queue_depth,
-                name=f"fig8.{mode}.k{key_bytes}",
-            )
-            result.mib_s[mode][key_bytes] = run.bandwidth.overall_mib_per_sec()
+        for mode in ("sync", "async"):
+            result.mib_s[mode][key_bytes] = cells[index]
+            index += 1
     return result

@@ -22,6 +22,8 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.experiment import build_block_rig, build_kv_rig, lab_geometry
 from repro.errors import ConfigurationError
+from repro.exec.runner import SweepRunner, execute_spec
+from repro.exec.spec import SweepPoint, SweepSpec
 from repro.faults.model import FaultConfig
 from repro.ftl.core import DeviceStats
 from repro.kvbench.runner import RunResult, execute_workload
@@ -148,25 +150,34 @@ def run_fault_sweep(
     blocks_per_plane: int = 16,
     queue_depth: int = 8,
     workload_seed: int = 47,
+    runner: Optional[SweepRunner] = None,
 ) -> List[FaultPoint]:
     """Run the sweep; returns points ordered personality-major, rate-minor.
 
     Every point gets a *fresh* rig (fault injection mutates wear and the
     grown-defect list) but replays the identical operation stream, so
     rate 0 within each personality is the clean baseline for the rest.
+    ``runner`` fans the (personality, rate) cells out over a process
+    pool and/or the result cache; point order is fixed either way.
     """
     if not rates:
         raise ConfigurationError("fault sweep needs at least one rate")
-    points: List[FaultPoint] = []
     for rate in rates:
-        points.append(_run_kv_point(rate, seed, n_ops, value_bytes,
-                                    blocks_per_plane, queue_depth,
-                                    workload_seed))
-    for rate in rates:
-        points.append(_run_block_point(rate, seed, n_ops, value_bytes,
-                                       blocks_per_plane, queue_depth,
-                                       workload_seed))
-    return points
+        fault_profile(rate, seed)  # validate every rate before fan-out
+    kwargs = dict(seed=seed, n_ops=n_ops, value_bytes=value_bytes,
+                  blocks_per_plane=blocks_per_plane,
+                  queue_depth=queue_depth, workload_seed=workload_seed)
+    cell_fns = {"kv": _run_kv_point, "block": _run_block_point}
+    sweep_points = tuple(
+        SweepPoint(
+            label=f"{personality}/{rate:g}",
+            fn=cell_fns[personality],
+            kwargs=dict(rate=rate, **kwargs),
+        )
+        for personality in ("kv", "block")
+        for rate in rates
+    )
+    return execute_spec(SweepSpec("faults", sweep_points), runner)
 
 
 #: Column order of :func:`write_sweep_csv` (stable: tooling parses it).

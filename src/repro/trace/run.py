@@ -20,6 +20,8 @@ from typing import Dict, Optional
 
 from repro.core.experiment import build_block_rig, build_kv_rig, lab_geometry
 from repro.errors import ConfigurationError
+from repro.exec.runner import SweepRunner, execute_spec
+from repro.exec.spec import SweepPoint, SweepSpec
 from repro.kvbench.runner import RunResult, execute_workload
 from repro.kvbench.workload import Pattern, WorkloadSpec, generate_operations
 from repro.kvftl.population import KeyScheme
@@ -102,37 +104,38 @@ def _fill_kvps(device, value_bytes: int, scheme: KeyScheme,
     )
 
 
-def run_traced(
-    fig: str = "fig6",
-    n_ops: Optional[int] = None,
-    max_spans: int = 1 << 20,
-    sample_every: int = 1,
-) -> TraceReport:
-    """Run ``fig``'s scenario on both personalities under one collector."""
-    scenario = SCENARIOS.get(fig)
-    if scenario is None:
-        raise ConfigurationError(
-            f"no trace scenario for {fig!r}; choose from "
-            f"{sorted(SCENARIOS)}"
-        )
-    n_ops = scenario.n_ops if n_ops is None else n_ops
+def _trace_personality_cell(
+    personality: str,
+    fig: str,
+    n_ops: int,
+    max_spans: int,
+    sample_every: int,
+) -> Dict[str, object]:
+    """Run ``fig``'s scenario on one personality under its own collector.
+
+    Returns plain picklable parts — the run result, the attribution
+    breakdown, and the finished span records — which :func:`run_traced`
+    merges into one shared-collector report in fixed personality order.
+    """
+    scenario = SCENARIOS[fig]
     config = TraceConfig(sample_every=sample_every, max_spans=max_spans)
     collector = TraceCollector(max_spans)
     geometry = lab_geometry(scenario.blocks_per_plane)
     scheme = KeyScheme(prefix=b"key-", digits=scenario.key_digits)
-    report = TraceReport(fig, scenario, collector)
+    pid = 1 if personality == "kv-ssd" else 2
+    tracer = Tracer(config, collector, pid=pid, process_name=personality)
 
-    # -- KV personality (pid 1) -----------------------------------------
-    tracer = Tracer(config, collector, pid=1, process_name="kv-ssd")
-    rig = build_kv_rig(geometry, tracer=tracer)
+    # Both personalities replay the identical spec: the KV population
+    # sizing below is a pure function of the scenario, so the block cell
+    # computes the same numbers without running the KV cell first.
+    probe = build_kv_rig(geometry)
     population = n_ops
     if scenario.fill_fraction > 0.0:
         population = max(
             n_ops,
-            _fill_kvps(rig.device, scenario.value_bytes, scheme,
+            _fill_kvps(probe.device, scenario.value_bytes, scheme,
                        scenario.fill_fraction),
         )
-        rig.device.fast_fill(population, scenario.value_bytes, scheme)
     spec = WorkloadSpec(
         n_ops=n_ops,
         op=scenario.op,
@@ -143,31 +146,89 @@ def run_traced(
         read_fraction=scenario.read_fraction,
         seed=47,
     )
-    report.runs["kv-ssd"] = execute_workload(
-        rig.env, rig.adapter, generate_operations(spec),
-        queue_depth=scenario.queue_depth, name=f"trace.{fig}.kv",
-        stop_after_us=60e6,
-    )
-    report.breakdowns["kv-ssd"] = LatencyBreakdown.from_records(
-        collector.records(), pid=1,
-        since_us=report.runs["kv-ssd"].started_us, name="kv-ssd",
-    )
 
-    # -- block personality (pid 2), same sizes and order ----------------
-    tracer = Tracer(config, collector, pid=2, process_name="block-ssd")
-    rig = build_block_rig(geometry, tracer=tracer)
-    adapter = rig.adapter(scenario.value_bytes)
-    if scenario.fill_fraction > 0.0:
-        rig.device.prime_sequential_fill(
-            int(rig.device.n_units * scenario.fill_fraction)
+    if personality == "kv-ssd":
+        rig = build_kv_rig(geometry, tracer=tracer)
+        if scenario.fill_fraction > 0.0:
+            rig.device.fast_fill(population, scenario.value_bytes, scheme)
+        run = execute_workload(
+            rig.env, rig.adapter, generate_operations(spec),
+            queue_depth=scenario.queue_depth, name=f"trace.{fig}.kv",
+            stop_after_us=60e6,
         )
-    report.runs["block-ssd"] = execute_workload(
-        rig.env, adapter, generate_operations(spec),
-        queue_depth=scenario.queue_depth, name=f"trace.{fig}.block",
-        stop_after_us=60e6,
+    else:
+        block_rig = build_block_rig(geometry, tracer=tracer)
+        adapter = block_rig.adapter(scenario.value_bytes)
+        if scenario.fill_fraction > 0.0:
+            block_rig.device.prime_sequential_fill(
+                int(block_rig.device.n_units * scenario.fill_fraction)
+            )
+        run = execute_workload(
+            block_rig.env, adapter, generate_operations(spec),
+            queue_depth=scenario.queue_depth, name=f"trace.{fig}.block",
+            stop_after_us=60e6,
+        )
+    breakdown = LatencyBreakdown.from_records(
+        collector.records(), pid=pid,
+        since_us=run.started_us, name=personality,
     )
-    report.breakdowns["block-ssd"] = LatencyBreakdown.from_records(
-        collector.records(), pid=2,
-        since_us=report.runs["block-ssd"].started_us, name="block-ssd",
+    return {
+        "run": run,
+        "breakdown": breakdown,
+        "records": collector.records(),
+        "dropped": collector.dropped,
+        "process_names": dict(collector.process_names),
+    }
+
+
+def run_traced(
+    fig: str = "fig6",
+    n_ops: Optional[int] = None,
+    max_spans: int = 1 << 20,
+    sample_every: int = 1,
+    runner: Optional[SweepRunner] = None,
+) -> TraceReport:
+    """Run ``fig``'s scenario on both personalities into one collector.
+
+    The personalities are independent cells (each simulates on its own
+    environment); ``runner`` may compute them in parallel or reuse
+    cached cells.  Records are merged kv-first then block — the same
+    append order the serial shared collector produced — so the exported
+    trace and the drop accounting are byte-identical either way.
+    """
+    scenario = SCENARIOS.get(fig)
+    if scenario is None:
+        raise ConfigurationError(
+            f"no trace scenario for {fig!r}; choose from "
+            f"{sorted(SCENARIOS)}"
+        )
+    n_ops = scenario.n_ops if n_ops is None else n_ops
+    points = tuple(
+        SweepPoint(
+            label=personality,
+            fn=_trace_personality_cell,
+            kwargs=dict(
+                personality=personality,
+                fig=fig,
+                n_ops=n_ops,
+                max_spans=max_spans,
+                sample_every=sample_every,
+            ),
+        )
+        for personality in ("kv-ssd", "block-ssd")
     )
+    cells = execute_spec(SweepSpec(f"trace.{fig}", points), runner)
+
+    collector = TraceCollector(max_spans)
+    report = TraceReport(fig, scenario, collector)
+    for personality, cell in zip(("kv-ssd", "block-ssd"), cells):
+        # Worker-side drops happened against an emptier buffer than the
+        # shared one; re-appending here reproduces the shared-collector
+        # retention exactly, and the counters sum to the serial total.
+        collector.dropped += cell["dropped"]
+        for record in cell["records"]:
+            collector.append(record)
+        collector.process_names.update(cell["process_names"])
+        report.runs[personality] = cell["run"]
+        report.breakdowns[personality] = cell["breakdown"]
     return report

@@ -1,0 +1,18 @@
+"""Shared pytest configuration for the repro test suite."""
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from live runs instead of "
+        "diffing against them",
+    )
+
+
+@pytest.fixture
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--regen-golden"))

@@ -1,8 +1,13 @@
 """Tests for the experiment CLI."""
 
+import csv
+import json
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.faults.run import SWEEP_CSV_COLUMNS
 
 
 def test_parser_accepts_every_experiment():
@@ -40,3 +45,96 @@ def test_fig8_command_prints_cliff(capsys):
     captured = capsys.readouterr().out
     assert exit_code == 0
     assert "cliff past 16B" in captured
+
+
+def test_parser_accepts_parallel_and_cache_flags():
+    args = build_parser().parse_args(
+        ["fig", "fig4", "--parallel", "4", "--no-cache",
+         "--cache-dir", "/tmp/alt-cache"]
+    )
+    assert args.experiment == "fig"
+    assert args.target == "fig4"
+    assert args.parallel == 4
+    assert args.no_cache is True
+    assert args.cache_dir == "/tmp/alt-cache"
+
+
+def test_fig_meta_form_requires_a_figure():
+    with pytest.raises(SystemExit, match="name a figure"):
+        main(["fig"])
+
+
+def test_target_is_rejected_outside_the_fig_form():
+    with pytest.raises(SystemExit, match="unexpected argument"):
+        main(["fig8", "fig4"])
+
+
+def test_parallel_must_be_positive():
+    with pytest.raises(SystemExit, match="--parallel"):
+        main(["fig8", "--parallel", "0"])
+
+
+def _figure_stdout(capsys, argv):
+    """Run the CLI and return stdout minus the wall-clock timing line."""
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    return re.sub(r"\[(\w+) done in [0-9.]+s\]", r"[\1 done]", out)
+
+
+def test_fig_parallel_output_is_byte_identical(capsys, tmp_path):
+    """`repro fig fig8 --parallel 2` prints exactly what serial prints."""
+    base = ["--n-ops", "200", "--cache-dir", str(tmp_path / "cache")]
+    serial = _figure_stdout(capsys, ["fig", "fig8", "--parallel", "1"] + base)
+    parallel = _figure_stdout(capsys, ["fig", "fig8", "--parallel", "2"] + base)
+    assert parallel == serial
+    # The second run hit the cache the first one filled.
+    assert (tmp_path / "cache").is_dir()
+
+
+def test_faults_command_prints_table_and_writes_csv(capsys, tmp_path):
+    out_csv = tmp_path / "sweep.csv"
+    exit_code = main([
+        "faults", "--fault-rates", "0,1e-2", "--n-ops", "100",
+        "--no-cache", "--faults-out", str(out_csv),
+    ])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "kv-ssd" in captured and "block-ssd" in captured
+    assert f"wrote 4 sweep rows to {out_csv}" in captured
+    with out_csv.open(newline="") as handle:
+        rows = list(csv.reader(handle))
+    assert tuple(rows[0]) == SWEEP_CSV_COLUMNS
+    assert len(rows) == 1 + 4  # header + 2 personalities x 2 rates
+    personalities = {row[0] for row in rows[1:]}
+    assert personalities == {"kv-ssd", "block-ssd"}
+
+
+def test_faults_command_rejects_bad_rates():
+    with pytest.raises(SystemExit, match="fault-rates"):
+        main(["faults", "--fault-rates", "0,banana"])
+
+
+def test_trace_command_writes_perfetto_file(capsys, tmp_path):
+    out_json = tmp_path / "trace.json"
+    exit_code = main([
+        "trace", "--fig", "fig5", "--trace-ops", "120",
+        "--no-cache", "--out", str(out_json),
+    ])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "scenario: fig5" in captured
+    assert "[kv-ssd]" in captured and "[block-ssd]" in captured
+    document = json.loads(out_json.read_text())
+    assert document["traceEvents"]
+    assert document["displayTimeUnit"] == "ms"
+
+
+def test_exec_statistics_go_to_stderr_not_stdout(capsys, tmp_path):
+    exit_code = main([
+        "fig8", "--n-ops", "150", "--parallel", "2",
+        "--cache-dir", str(tmp_path / "cache"),
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "[exec] fig8" in captured.err
+    assert "[exec]" not in captured.out

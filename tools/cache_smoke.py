@@ -1,0 +1,69 @@
+"""Cache-effectiveness smoke check for the sweep-execution engine.
+
+Runs one figure experiment twice through a fresh result cache and
+asserts that the second (warm) invocation
+
+* serves at least 90% of its points from the cache, and
+* finishes at least 5x faster than the cold run.
+
+Exercised by CI after the benchmark-shape job; it is a *host-side*
+performance property (did caching actually skip the simulations?), so
+unlike everything else in this repo it legitimately reads wall clocks.
+
+Usage::
+
+    PYTHONPATH=src python tools/cache_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+
+from repro.core.figures import fig8_key_size_bandwidth
+from repro.exec.runner import SweepRunner
+
+MIN_HIT_RATE = 0.90
+MIN_SPEEDUP = 5.0
+
+
+def timed_run(cache_dir: str) -> tuple[float, "SweepRunner"]:
+    runner = SweepRunner(workers=1, cache_dir=cache_dir)
+    started = time.perf_counter()
+    fig8_key_size_bandwidth(n_ops=400, blocks_per_plane=8, runner=runner)
+    return time.perf_counter() - started, runner
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-cache-smoke-") as root:
+        cold_s, cold = timed_run(root)
+        warm_s, warm = timed_run(root)
+    cold_report, warm_report = cold.last_report, warm.last_report
+    assert cold_report is not None and warm_report is not None
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"cold: {cold_report.format()}")
+    print(f"warm: {warm_report.format()}")
+    print(f"warm speedup: {speedup:.1f}x "
+          f"(cold {cold_s:.2f}s, warm {warm_s:.3f}s)")
+
+    failures = []
+    if cold_report.hits != 0:
+        failures.append(
+            f"cold run should start empty, saw {cold_report.hits} hits"
+        )
+    if warm_report.hit_rate < MIN_HIT_RATE:
+        failures.append(
+            f"warm hit rate {warm_report.hit_rate:.0%} < {MIN_HIT_RATE:.0%}"
+        )
+    if speedup < MIN_SPEEDUP:
+        failures.append(f"warm speedup {speedup:.1f}x < {MIN_SPEEDUP}x")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("cache smoke: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
