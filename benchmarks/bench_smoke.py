@@ -10,6 +10,13 @@ promise of the disabled tracer) shows up as a number, not a feeling.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_smoke.py [--n-ops N] [--out PATH]
+        [--gate-overhead PCT]
+
+With ``--gate-overhead`` the disabled-tracer overhead becomes a gate:
+the run fails (exit 1) when a bound-but-disabled tracer costs more than
+PCT percent over the no-tracer baseline.  A disabled tracer reduces
+every instrumentation site to one frozenset membership test, so a real
+overhead regression means someone put work back on the disabled path.
 """
 
 from __future__ import annotations
@@ -57,6 +64,11 @@ def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--n-ops", type=int, default=4000)
     parser.add_argument("--out", default="BENCH_smoke.json")
+    parser.add_argument(
+        "--gate-overhead", type=float, metavar="PCT", default=None,
+        help="fail if the disabled tracer costs more than PCT%% over "
+        "the no-tracer baseline",
+    )
     args = parser.parse_args(argv)
 
     modes = {
@@ -82,6 +94,16 @@ def main(argv: list | None = None) -> int:
     with open(args.out, "w", encoding="ascii") as handle:
         json.dump(document, handle, indent=2)
     print(f"wrote {args.out}")
+
+    if args.gate_overhead is not None:
+        measured = results["tracer_disabled"]["overhead_pct"]
+        status = "PASS" if measured <= args.gate_overhead else "FAIL"
+        print(
+            f"gate: disabled-tracer overhead {measured:+.1f}% "
+            f"(limit {args.gate_overhead:+.1f}%) -> {status}"
+        )
+        if status == "FAIL":
+            return 1
     return 0
 
 

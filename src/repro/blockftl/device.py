@@ -31,6 +31,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Generator, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.blockftl.config import BlockSSDConfig
 from repro.blockftl.mapping import UNMAPPED, PageMap, SegmentCache
 from repro.errors import AddressError, ConfigurationError
@@ -432,22 +434,72 @@ class BlockSSD:
                 f"prime range [{start_unit}, {start_unit + n_units}) outside "
                 f"{self.n_units} units"
             )
+        pagemap = self.pagemap
+        spp = self.slots_per_page
+        pages_per_block = pagemap.geometry.pages_per_block
+        stream = self.core.write_stream
+        next_slot = stream.next_slot
+        prime_program = self.array.prime_program
+        prime_program_run = self.array.prime_program_run
+        page_bytes = spp * self.map_unit
+        width = stream.width
         unit = start_unit
         remaining = n_units
-        while remaining > 0:
-            count = min(self.slots_per_page, remaining)
-            block = self.core.write_stream.next_slot()
-            page = self.array.prime_program(block, count * self.map_unit)
-            for slot in range(count):
-                target = unit + slot
-                slot_id = self.pagemap.lookup(target)
-                if slot_id != UNMAPPED:
-                    old_block, _p, _s = self.pagemap.unflatten(slot_id)
-                    self.pagemap.unbind(target)
-                    self.array.invalidate(old_block, self.map_unit)
-                self.pagemap.bind(target, block, page, slot)
-            unit += count
-            remaining -= count
+        while remaining >= spp:
+            # Batch whole rotation cycles: reserve one page per open block
+            # per cycle, commit each block's page run at once, and bind the
+            # whole batch's mappings with one vectorized call.  The blocks,
+            # pages, and bind order are identical to the per-page path.
+            cycles = min(stream.cycle_headroom(), (remaining // spp) // width)
+            if cycles >= 1:
+                blocks_cycle = stream.reserve_cycles(cycles)
+                starts = [
+                    prime_program_run(block, cycles, page_bytes)
+                    for block in blocks_cycle
+                ]
+                first_pages = (
+                    np.asarray(blocks_cycle, dtype=np.int64) * pages_per_block
+                    + np.asarray(starts, dtype=np.int64)
+                )
+                bases = (
+                    first_pages[None, :]
+                    + np.arange(cycles, dtype=np.int64)[:, None]
+                ).ravel() * spp
+                old_slots = pagemap.bind_full_pages(unit, bases)
+                self._invalidate_stale(old_slots)
+                unit += cycles * width * spp
+                remaining -= cycles * width * spp
+                continue
+            # Per-page path: rotation boundaries (a block about to close).
+            block = next_slot()
+            page = prime_program(block, page_bytes)
+            bases = np.asarray(
+                [(block * pages_per_block + page) * spp], dtype=np.int64
+            )
+            old_slots = pagemap.bind_full_pages(unit, bases)
+            self._invalidate_stale(old_slots)
+            unit += spp
+            remaining -= spp
+        if remaining:
+            block = next_slot()
+            page = prime_program(block, remaining * self.map_unit)
+            old_slots = pagemap.bind_range(unit, remaining, block, page)
+            self._invalidate_stale(old_slots)
+
+    def _invalidate_stale(self, old_slots: "np.ndarray") -> None:
+        """Invalidate overwritten copies, aggregated per old block.
+
+        The aggregate per-block byte decrement equals the per-unit
+        sequence of ``invalidate`` calls, so the resulting flash state is
+        identical.
+        """
+        stale = old_slots[old_slots != UNMAPPED]
+        if not stale.size:
+            return
+        slots_per_block = self.pagemap.slots_per_page * self.pagemap.geometry.pages_per_block
+        old_blocks, counts = np.unique(stale // slots_per_block, return_counts=True)
+        for old_block, n in zip(old_blocks.tolist(), counts.tolist()):
+            self.array.invalidate(int(old_block), int(n) * self.map_unit)
 
     # ------------------------------------------------------------------
     # observability

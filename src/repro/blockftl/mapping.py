@@ -98,6 +98,86 @@ class PageMap:
         self._forward[unit] = new_slot
         self._reverse[new_slot] = unit
 
+    def bind_range(self, unit_start: int, count: int, block: int, page: int) -> np.ndarray:
+        """Bind ``count`` consecutive units to slots ``0..count-1`` of a page.
+
+        Vectorized equivalent of ``count`` sequential :meth:`bind` calls
+        (unit ``unit_start + i`` -> slot ``i``), the shape every
+        sequential fill produces.  Returns the array of *previous* slot
+        ids (``UNMAPPED`` where the unit was unbound) so callers can
+        invalidate stale copies — aggregated per old block rather than
+        one call per unit, which is state-identical.
+        """
+        if count < 1 or count > self.slots_per_page:
+            raise AddressError(
+                f"bind_range count {count} out of range [1, {self.slots_per_page}]"
+            )
+        self._check_unit(unit_start)
+        self._check_unit(unit_start + count - 1)
+        self.geometry.check_page(block, page)
+        base = (block * self.geometry.pages_per_block + page) * self.slots_per_page
+        forward = self._forward
+        reverse = self._reverse
+        target = reverse[base:base + count]
+        if np.any(target != UNMAPPED):
+            offset = int(np.argmax(target != UNMAPPED))
+            raise AddressError(
+                f"slot {base + offset} already holds unit {target[offset]}"
+            )
+        old_slots = forward[unit_start:unit_start + count].copy()
+        prior = old_slots != UNMAPPED
+        n_prior = int(np.count_nonzero(prior))
+        if n_prior:
+            reverse[old_slots[prior]] = UNMAPPED
+        new_slots = np.arange(base, base + count, dtype=np.int64)
+        forward[unit_start:unit_start + count] = new_slots
+        reverse[base:base + count] = np.arange(
+            unit_start, unit_start + count, dtype=np.int64
+        )
+        self._mapped_units += count - n_prior
+        return old_slots
+
+    def bind_full_pages(self, unit_start: int, page_bases: np.ndarray) -> np.ndarray:
+        """Bind a run of consecutive units across many *full* pages at once.
+
+        ``page_bases`` holds the flat slot id of slot 0 for each page (in
+        program order); every page takes ``slots_per_page`` consecutive
+        units.  Equivalent to ``bind_range`` per page, batched so a
+        multi-hundred-thousand-unit fill costs a handful of numpy ops
+        instead of one Python call per page.  Returns the previous slot
+        ids for the whole run (``UNMAPPED`` where unbound).
+        """
+        spp = self.slots_per_page
+        n = int(page_bases.size) * spp
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        self._check_unit(unit_start)
+        self._check_unit(unit_start + n - 1)
+        forward = self._forward
+        reverse = self._reverse
+        new_slots = (
+            page_bases[:, None] + np.arange(spp, dtype=np.int64)
+        ).ravel()
+        target = reverse[new_slots]
+        occupied = target != UNMAPPED
+        if occupied.any():
+            offset = int(np.argmax(occupied))
+            raise AddressError(
+                f"slot {int(new_slots[offset])} already holds unit "
+                f"{target[offset]}"
+            )
+        old_slots = forward[unit_start:unit_start + n].copy()
+        prior = old_slots != UNMAPPED
+        n_prior = int(np.count_nonzero(prior))
+        if n_prior:
+            reverse[old_slots[prior]] = UNMAPPED
+        forward[unit_start:unit_start + n] = new_slots
+        reverse[new_slots] = np.arange(
+            unit_start, unit_start + n, dtype=np.int64
+        )
+        self._mapped_units += n - n_prior
+        return old_slots
+
     def unbind(self, unit: int) -> int:
         """Remove the unit's mapping; returns the freed slot id.
 

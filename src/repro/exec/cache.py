@@ -79,11 +79,16 @@ def canonical(value: Any) -> Any:
         return {"__enum__": f"{type(value).__module__}.{type(value).__qualname__}",
                 "name": value.name}
     if is_dataclass(value) and not isinstance(value, type):
+        # Only constructor inputs participate in the key: init=False
+        # fields are derived (precomputed geometry quantities, timing memo
+        # tables) and would either duplicate the inputs or — for memo
+        # state — make the key depend on what happened to run first.
         return {
             "__dataclass__": f"{type(value).__module__}.{type(value).__qualname__}",
             "fields": {
                 f.name: canonical(getattr(value, f.name))
                 for f in fields(value)
+                if f.init
             },
         }
     if isinstance(value, dict):

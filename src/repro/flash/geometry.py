@@ -15,7 +15,7 @@ need other scales construct their own geometry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import AddressError, ConfigurationError
 from repro.units import GIB, KIB
@@ -61,6 +61,18 @@ class Geometry:
     pages_per_block: int = 128
     page_bytes: int = 32 * KIB
 
+    # Derived quantities, precomputed once at construction: these sit on
+    # per-page hot paths (bounds checks, die/channel lookup), where the
+    # former @property arithmetic dominated profiles.  Excluded from
+    # repr/compare so Geometry equality and hashing still mean "same
+    # configured shape".
+    total_dies: int = field(init=False, repr=False, compare=False, default=0)
+    blocks_per_die: int = field(init=False, repr=False, compare=False, default=0)
+    total_blocks: int = field(init=False, repr=False, compare=False, default=0)
+    total_pages: int = field(init=False, repr=False, compare=False, default=0)
+    block_bytes: int = field(init=False, repr=False, compare=False, default=0)
+    capacity_bytes: int = field(init=False, repr=False, compare=False, default=0)
+
     def __post_init__(self) -> None:
         for field_name in (
             "channels",
@@ -76,38 +88,13 @@ class Geometry:
                     f"geometry field {field_name} must be a positive int, "
                     f"got {value!r}"
                 )
-
-    # -- derived quantities ----------------------------------------------
-
-    @property
-    def total_dies(self) -> int:
-        """Number of independently busy flash dies."""
-        return self.channels * self.dies_per_channel
-
-    @property
-    def blocks_per_die(self) -> int:
-        """Erase units behind one die (across its planes)."""
-        return self.planes_per_die * self.blocks_per_plane
-
-    @property
-    def total_blocks(self) -> int:
-        """Total erase units in the array."""
-        return self.total_dies * self.blocks_per_die
-
-    @property
-    def total_pages(self) -> int:
-        """Total program units in the array."""
-        return self.total_blocks * self.pages_per_block
-
-    @property
-    def block_bytes(self) -> int:
-        """Raw bytes per erase unit."""
-        return self.pages_per_block * self.page_bytes
-
-    @property
-    def capacity_bytes(self) -> int:
-        """Raw capacity of the array in bytes."""
-        return self.total_pages * self.page_bytes
+        write = object.__setattr__  # frozen dataclass
+        write(self, "total_dies", self.channels * self.dies_per_channel)
+        write(self, "blocks_per_die", self.planes_per_die * self.blocks_per_plane)
+        write(self, "total_blocks", self.total_dies * self.blocks_per_die)
+        write(self, "total_pages", self.total_blocks * self.pages_per_block)
+        write(self, "block_bytes", self.pages_per_block * self.page_bytes)
+        write(self, "capacity_bytes", self.total_pages * self.page_bytes)
 
     # -- flat block indexing ----------------------------------------------
 

@@ -126,6 +126,26 @@ class FlashArray:
         self.blocks: List[BlockInfo] = [
             BlockInfo() for _ in range(geometry.total_blocks)
         ]
+        # Per-block lookup tables, precomputed once: the die/channel of a
+        # block is pure arithmetic on the geometry, and resolving it per
+        # timed op (three times per read, counting the trace track name)
+        # showed up in profiles.  Index layout matches Geometry.die_of_block.
+        total_dies = geometry.total_dies
+        channels = geometry.channels
+        self._die_index: List[int] = [
+            block % total_dies for block in range(geometry.total_blocks)
+        ]
+        self._chan_index: List[int] = [
+            (block % total_dies) % channels for block in range(geometry.total_blocks)
+        ]
+        self._die_res: List[Resource] = [
+            self._dies[die] for die in self._die_index
+        ]
+        self._chan_res: List[Resource] = [
+            self._channels[chan] for chan in self._chan_index
+        ]
+        self._die_track: List[str] = [f"die{die}" for die in self._die_index]
+        self._chan_track: List[str] = [f"ch{chan}" for chan in self._chan_index]
 
     def _tracing(self) -> Optional["Tracer"]:
         """The tracer when flash spans are wanted, else ``None``.
@@ -143,11 +163,13 @@ class FlashArray:
 
     def die_resource(self, block_index: int) -> Resource:
         """Die resource owning ``block_index``."""
-        return self._dies[self.geometry.die_of_block(block_index)]
+        self.geometry.check_block(block_index)
+        return self._die_res[block_index]
 
     def channel_resource(self, block_index: int) -> Resource:
         """Channel resource serving ``block_index``."""
-        return self._channels[self.geometry.channel_of_block(block_index)]
+        self.geometry.check_block(block_index)
+        return self._chan_res[block_index]
 
     def die_utilization(self) -> float:
         """Mean busy fraction across all dies since construction."""
@@ -168,27 +190,32 @@ class FlashArray:
         info.valid_bytes = 0
 
     def _info(self, block_index: int) -> BlockInfo:
-        self.geometry.check_block(block_index)
-        return self.blocks[block_index]
+        blocks = self.blocks
+        if not 0 <= block_index < len(blocks):
+            # Delegate for the canonical out-of-range message.
+            self.geometry.check_block(block_index)
+        return blocks[block_index]
 
     def _commit_program(self, block_index: int, valid_bytes: int) -> int:
         """Advance the block's write point; returns the programmed page index."""
         info = self._info(block_index)
+        geometry = self.geometry
+        pages_per_block = geometry.pages_per_block
         if info.state is not BlockState.OPEN:
             raise SimulationError(
                 f"program to block {block_index} in state {info.state}"
             )
-        if info.next_page >= self.geometry.pages_per_block:
+        page_index = info.next_page
+        if page_index >= pages_per_block:
             raise SimulationError(f"block {block_index} has no free pages")
-        if not 0 <= valid_bytes <= self.geometry.page_bytes:
+        if not 0 <= valid_bytes <= geometry.page_bytes:
             raise AddressError(
                 f"valid_bytes {valid_bytes} outside page of "
-                f"{self.geometry.page_bytes} bytes"
+                f"{geometry.page_bytes} bytes"
             )
-        page_index = info.next_page
-        info.next_page += 1
+        info.next_page = page_index + 1
         info.valid_bytes += valid_bytes
-        if info.next_page == self.geometry.pages_per_block:
+        if page_index + 1 == pages_per_block:
             info.state = BlockState.CLOSED
         return page_index
 
@@ -213,6 +240,40 @@ class FlashArray:
         page_index = self._commit_program(block_index, valid_bytes)
         self.counters.primed_pages += 1
         return page_index
+
+    def prime_program_run(
+        self, block_index: int, n_pages: int, valid_bytes_per_page: int
+    ) -> int:
+        """Untimed program of ``n_pages`` consecutive pages of one block.
+
+        State-identical to ``n_pages`` calls of :meth:`prime_program`
+        with the same per-page payload; returns the first programmed page
+        index.  Bulk priming batches whole-page runs through here so the
+        per-page commit arithmetic runs once per run, not once per page.
+        """
+        info = self._info(block_index)
+        if info.state is not BlockState.OPEN:
+            raise SimulationError(
+                f"program to block {block_index} in state {info.state}"
+            )
+        pages_per_block = self.geometry.pages_per_block
+        start_page = info.next_page
+        if n_pages < 1 or start_page + n_pages > pages_per_block:
+            raise SimulationError(
+                f"run of {n_pages} pages from page {start_page} does not fit "
+                f"block {block_index}"
+            )
+        if not 0 <= valid_bytes_per_page <= self.geometry.page_bytes:
+            raise AddressError(
+                f"valid_bytes {valid_bytes_per_page} outside page of "
+                f"{self.geometry.page_bytes} bytes"
+            )
+        info.next_page = start_page + n_pages
+        info.valid_bytes += n_pages * valid_bytes_per_page
+        if info.next_page == pages_per_block:
+            info.state = BlockState.CLOSED
+        self.counters.primed_pages += n_pages
+        return start_page
 
     def prime_erase(self, block_index: int) -> None:
         """Untimed erase for experiment setup."""
@@ -256,32 +317,36 @@ class FlashArray:
             good = self.faults.read_attempt(
                 block_index, page_index, info.erase_count, attempt
             )
+        timing = self.timing
+        stats = self._stats
         nbytes = min(nbytes, self.geometry.page_bytes)
-        transfer_us = self.timing.transfer_us(nbytes)
+        read_us = timing.read_us
+        transfer_us = timing.transfer_us(nbytes)
         tracer = self._tracing()
-        yield from self.die_resource(block_index).serve(self.timing.read_us)
+        yield from self._die_res[block_index].serve(read_us)
         # Busy time is banked per serve, at the same instants spans are
         # recorded, so counter and trace agree even with ops in flight.
-        if self._stats is not None:
-            self._stats.flash_busy_us += self.timing.read_us
+        if stats is not None:
+            stats.flash_busy_us += read_us
         if tracer is not None:
             tracer.complete(
-                f"die{self.geometry.die_of_block(block_index)}",
-                "read", "flash", self.timing.read_us,
+                self._die_track[block_index],
+                "read", "flash", read_us,
                 args={"block": block_index},
             )
-        yield from self.channel_resource(block_index).serve(transfer_us)
-        if self._stats is not None:
-            self._stats.flash_busy_us += transfer_us
+        yield from self._chan_res[block_index].serve(transfer_us)
+        if stats is not None:
+            stats.flash_busy_us += transfer_us
         if tracer is not None:
             tracer.complete(
-                f"ch{self.geometry.channel_of_block(block_index)}",
+                self._chan_track[block_index],
                 "read.xfer", "flash", transfer_us,
             )
-        self.counters.page_reads += 1
-        self.counters.bytes_read += nbytes
-        if self._stats is not None:
-            self._stats.flash_reads += 1
+        counters = self.counters
+        counters.page_reads += 1
+        counters.bytes_read += nbytes
+        if stats is not None:
+            stats.flash_reads += 1
         if good and attempt == 0:
             return READ_OK
         return ReadResult(ok=good, retries=attempt)
@@ -305,24 +370,27 @@ class FlashArray:
         if self.faults is not None:
             info = self._info(block_index)
             failed = self.faults.program_fails(block_index, info.erase_count)
+        timing = self.timing
+        stats = self._stats
         nbytes = min(nbytes, self.geometry.page_bytes)
-        transfer_us = self.timing.transfer_us(nbytes)
+        program_us = timing.program_us
+        transfer_us = timing.transfer_us(nbytes)
         tracer = self._tracing()
-        yield from self.channel_resource(block_index).serve(transfer_us)
-        if self._stats is not None:
-            self._stats.flash_busy_us += transfer_us
+        yield from self._chan_res[block_index].serve(transfer_us)
+        if stats is not None:
+            stats.flash_busy_us += transfer_us
         if tracer is not None:
             tracer.complete(
-                f"ch{self.geometry.channel_of_block(block_index)}",
+                self._chan_track[block_index],
                 "program.xfer", "flash", transfer_us,
             )
-        yield from self.die_resource(block_index).serve(self.timing.program_us)
-        if self._stats is not None:
-            self._stats.flash_busy_us += self.timing.program_us
+        yield from self._die_res[block_index].serve(program_us)
+        if stats is not None:
+            stats.flash_busy_us += program_us
         if tracer is not None:
             tracer.complete(
-                f"die{self.geometry.die_of_block(block_index)}",
-                "program", "flash", self.timing.program_us,
+                self._die_track[block_index],
+                "program", "flash", program_us,
                 args={"block": block_index},
             )
         if failed:
@@ -330,10 +398,11 @@ class FlashArray:
                 f"program failed in block {block_index}", block=block_index
             )
         page_index = self._commit_program(block_index, valid_bytes)
-        self.counters.page_programs += 1
-        self.counters.bytes_programmed += nbytes
-        if self._stats is not None:
-            self._stats.flash_programs += 1
+        counters = self.counters
+        counters.page_programs += 1
+        counters.bytes_programmed += nbytes
+        if stats is not None:
+            stats.flash_programs += 1
         return page_index
 
     def erase(self, block_index: int) -> Generator[Event, None, None]:
@@ -353,12 +422,12 @@ class FlashArray:
         if self.faults is not None:
             failed = self.faults.erase_fails(block_index, info.erase_count)
         tracer = self._tracing()
-        yield from self.die_resource(block_index).serve(self.timing.erase_us)
+        yield from self._die_res[block_index].serve(self.timing.erase_us)
         if self._stats is not None:
             self._stats.flash_busy_us += self.timing.erase_us
         if tracer is not None:
             tracer.complete(
-                f"die{self.geometry.die_of_block(block_index)}",
+                self._die_track[block_index],
                 "erase", "flash", self.timing.erase_us,
                 args={"block": block_index},
             )

@@ -10,7 +10,8 @@ paper's same-hardware methodology — and differs only in FTL policy costs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict
 
 from repro.errors import ConfigurationError
 
@@ -39,6 +40,15 @@ class FlashTiming:
     channel_bytes_per_us: float = 800.0
     command_overhead_us: float = 1.5
 
+    #: Memo table for :meth:`transfer_us`.  Workloads issue a handful of
+    #: distinct transfer sizes (the value size, the page size, index
+    #: pages), so per-page timing arithmetic on the hot path collapses to
+    #: one dict probe.  Values are computed by the same expression as the
+    #: uncached path, so the table is exact, not approximate.
+    _transfer_memo: Dict[int, float] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
     def __post_init__(self) -> None:
         for field_name in (
             "read_us",
@@ -57,9 +67,15 @@ class FlashTiming:
 
     def transfer_us(self, nbytes: int) -> float:
         """Channel occupancy to move ``nbytes`` plus command overhead."""
+        memo = self._transfer_memo
+        cached = memo.get(nbytes)
+        if cached is not None:
+            return cached
         if nbytes < 0:
             raise ConfigurationError(f"transfer size must be >= 0, got {nbytes}")
-        return self.command_overhead_us + nbytes / self.channel_bytes_per_us
+        value = self.command_overhead_us + nbytes / self.channel_bytes_per_us
+        memo[nbytes] = value
+        return value
 
     def page_read_service_us(self, geometry_page_bytes: int, nbytes: int) -> float:
         """Un-contended service time for reading ``nbytes`` out of a page.

@@ -137,6 +137,10 @@ class AllocationStream:
         self.pool = pool
         self.width = width
         self.name = name
+        # next_slot() runs once per programmed page; bind the two stable
+        # lookups it needs rather than chasing them per call.
+        self._blocks = array.blocks
+        self._pages_per_block = array.geometry.pages_per_block
         self._open_blocks: List[Optional[int]] = [None] * width
         # Pages *handed out* per slot.  Programs complete asynchronously,
         # so allocation must count reservations, not committed pages —
@@ -166,16 +170,63 @@ class AllocationStream:
         slot = self._cursor
         self._cursor = (self._cursor + 1) % self.width
         block_index = self._open_blocks[slot]
+        reserved = self._reserved_pages
         if (
             block_index is not None
-            and self._reserved_pages[slot] < self.array.geometry.pages_per_block
-            and self.array.blocks[block_index].state is BlockState.OPEN
+            and reserved[slot] < self._pages_per_block
+            and self._blocks[block_index].state is BlockState.OPEN
         ):
-            self._reserved_pages[slot] += 1
+            reserved[slot] += 1
             return block_index
         block_index = self._refill(slot)
-        self._reserved_pages[slot] = 1
+        reserved[slot] = 1
         return block_index
+
+    def cycle_headroom(self) -> int:
+        """Whole rotation cycles every open block can absorb right now.
+
+        Zero when any slot is empty, closed externally, or fully
+        reserved — callers fall back to :meth:`next_slot` for one page
+        and retry.  Bulk priming uses this to find how many cycles
+        :meth:`reserve_cycles` may batch without hitting a refill.
+        """
+        headroom = self._pages_per_block
+        blocks = self._blocks
+        for slot in range(self.width):
+            block_index = self._open_blocks[slot]
+            if block_index is None or blocks[block_index].state is not BlockState.OPEN:
+                return 0
+            free = self._pages_per_block - self._reserved_pages[slot]
+            if free < headroom:
+                headroom = free
+        return headroom
+
+    def reserve_cycles(self, cycles: int) -> List[int]:
+        """Reserve ``cycles`` pages on every open block in rotation order.
+
+        Equivalent to ``cycles * width`` calls of :meth:`next_slot` when
+        :meth:`cycle_headroom` reports at least ``cycles``: the same pages
+        are reserved on the same blocks and the cursor ends where it
+        started (whole cycles).  Returns the blocks in rotation order
+        starting at the cursor — the page-program order within each cycle.
+        """
+        if not 1 <= cycles <= self.cycle_headroom():
+            raise ConfigurationError(
+                f"cannot reserve {cycles} cycles; headroom is "
+                f"{self.cycle_headroom()}"
+            )
+        width = self.width
+        cursor = self._cursor
+        order: List[int] = []
+        open_blocks = self._open_blocks
+        reserved = self._reserved_pages
+        for offset in range(width):
+            slot = (cursor + offset) % width
+            block_index = open_blocks[slot]
+            assert block_index is not None  # guaranteed by cycle_headroom
+            reserved[slot] += cycles
+            order.append(block_index)
+        return order
 
     def open_block_indices(self) -> List[int]:
         """Currently open blocks (for occupancy accounting)."""

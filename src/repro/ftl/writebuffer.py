@@ -66,13 +66,14 @@ class WriteBuffer:
         buffer-capacity chunks, which models how a device accepts a 2 MiB
         value through a smaller internal buffer.
         """
-        started = self.env.now
+        env = self.env
+        started = env._now
         remaining = nbytes
         while remaining > 0:
             chunk = min(remaining, self.capacity_bytes)
             yield self._tokens.get(chunk)
             remaining -= chunk
-        waited = self.env.now - started
+        waited = env._now - started
         self._stall_time_us += waited
         if self._stats is not None:
             self._stats.buffer_stall_us += waited

@@ -69,16 +69,57 @@ def fast_fill(
     device._populations.append(population)
 
     remaining = count
-    for page_seq in range(pages_needed):
+    stream = device.core.write_stream
+    next_slot = stream.next_slot
+    prime_program = device.array.prime_program
+    prime_program_run = device.array.prime_program_run
+    page_blocks = population.page_blocks
+    page_indices = population.page_indices
+    manifests = device._manifests
+    footprint = layout.footprint_bytes
+    full_bytes = per_page * footprint
+    width = stream.width
+    page_seq = 0
+    while remaining > 0:
+        # Batch whole rotation cycles of full pages: reserve one page on
+        # every open block per cycle and commit each block's run at once.
+        # State-identical to the per-page path — same blocks, pages,
+        # manifest order, and counters — minus the per-page call overhead.
+        cycles = min(stream.cycle_headroom(), (remaining // per_page) // width)
+        if cycles >= 1:
+            blocks_cycle = stream.reserve_cycles(cycles)
+            starts = [
+                prime_program_run(block, cycles, full_bytes)
+                for block in blocks_cycle
+            ]
+            page_blocks.extend(blocks_cycle * cycles)
+            page_indices.extend(
+                start + cycle for cycle in range(cycles) for start in starts
+            )
+            for offset, (block, start) in enumerate(zip(blocks_cycle, starts)):
+                manifest = manifests.get(block)
+                if manifest is None:
+                    manifest = manifests[block] = []
+                manifest.extend(
+                    ("pr", pop_index, page_seq + offset + cycle * width, start + cycle)
+                    for cycle in range(cycles)
+                )
+            page_seq += cycles * width
+            remaining -= cycles * width * per_page
+            continue
+        # Per-page path: rotation boundaries (a block about to close) and
+        # the final partial page.
         blobs_here = min(per_page, remaining)
         remaining -= blobs_here
-        block = device.core.write_stream.next_slot()
-        page = device.array.prime_program(block, blobs_here * layout.footprint_bytes)
-        population.page_blocks.append(block)
-        population.page_indices.append(page)
-        device._manifests.setdefault(block, []).append(
-            ("pr", pop_index, page_seq, page)
-        )
+        block = next_slot()
+        page = prime_program(block, blobs_here * footprint)
+        page_blocks.append(block)
+        page_indices.append(page)
+        manifest = manifests.get(block)
+        if manifest is None:
+            manifest = manifests[block] = []
+        manifest.append(("pr", pop_index, page_seq, page))
+        page_seq += 1
     device.index.prime_entries(count)
     device.iterators.note_bulk(scheme.key_for(0), count)
     device.stats.app_key_bytes += count * scheme.key_bytes

@@ -28,6 +28,16 @@ _SUPPRESS_RE = re.compile(
     r"(?P<codes>SIM\d{3}(?:\s*,\s*SIM\d{3})*)"
 )
 
+#: Directories whose modules are per-event hot paths: SIM007 (per-event
+#: allocation churn) applies only here, where one extra allocation runs
+#: millions of times per experiment point.
+_HOT_PATH_RE = re.compile(r"(^|[/\\])(sim|flash)([/\\])")
+
+
+def is_hot_path(path: "str | os.PathLike[str]") -> bool:
+    """Whether ``path`` lies in a sim/flash hot-path directory."""
+    return _HOT_PATH_RE.search(str(path)) is not None
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -64,7 +74,7 @@ def parse_suppressions(source: str) -> Tuple[Set[str], Dict[int, Set[str]]]:
 
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     """Lint one source string; suppression comments already applied."""
-    raw, parsed_ok = check_source(source)
+    raw, parsed_ok = check_source(source, hot_path=is_hot_path(path))
     if not parsed_ok:
         return [Finding(path, raw[0].line, raw[0].col,
                         raw[0].code, raw[0].message)]

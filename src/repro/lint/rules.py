@@ -1,4 +1,4 @@
-"""The six SIM rules, implemented as one two-pass AST checker.
+"""The SIM rules, implemented as one two-pass AST checker.
 
 Pass 1 (:meth:`ModuleChecker._collect`) records module facts the rules
 need: which local names are bound to the ``time`` / ``datetime`` /
@@ -35,6 +35,9 @@ RULES: Dict[str, str] = {
               "across calls / instances)",
     "SIM006": "Span.phase(...) outside a with statement; phases must "
               "be context-managed so they keep tiling op latency",
+    "SIM007": "per-event allocation on a sim/flash hot path: tuple "
+              "packed into heappush, or lambda closure handed to a "
+              "schedule call",
 }
 
 #: ``time`` module functions that read the host clock.
@@ -112,8 +115,10 @@ def _decorator_is_dataclass(node: ast.expr) -> bool:
 class ModuleChecker(ast.NodeVisitor):
     """Run all SIM rules over one parsed module."""
 
-    def __init__(self, tree: ast.Module) -> None:
+    def __init__(self, tree: ast.Module, hot_path: bool = False) -> None:
         self.tree = tree
+        #: Whether this module sits on a sim/flash hot path (SIM007 scope).
+        self.hot_path = hot_path
         self.findings: List[RawFinding] = []
         # Pass-1 facts.
         self.time_aliases: Set[str] = set()
@@ -219,6 +224,8 @@ class ModuleChecker(ast.NodeVisitor):
         self._check_wall_clock(node)
         self._check_randomness(node)
         self._check_phase_context(node)
+        if self.hot_path:
+            self._check_hot_path_allocation(node)
         self.generic_visit(node)
 
     def visit_Expr(self, node: ast.Expr) -> None:
@@ -404,17 +411,55 @@ class ModuleChecker(ast.NodeVisitor):
                        ".phase(...) outside a with statement; a phase "
                        "only tiles op latency when context-managed")
 
+    # -- SIM007 --------------------------------------------------------
 
-def check_module(tree: ast.Module) -> List[RawFinding]:
+    def _check_hot_path_allocation(self, node: ast.Call) -> None:
+        """Flag per-event allocation churn on sim/flash hot paths.
+
+        Two patterns the hot-path refactor removed and the rule keeps
+        out: packing a fresh tuple into ``heappush`` on every schedule,
+        and handing a lambda closure to a schedule/callback call (one
+        closure object per event).  Deliberate exceptions carry a
+        line-level ``# simlint: disable=SIM007`` explaining themselves.
+        """
+        func = node.func
+        name = _terminal_name(func)
+        if name == "heappush" and any(
+                isinstance(arg, ast.Tuple) for arg in node.args):
+            self._emit(node, "SIM007",
+                       "tuple packed into heappush per event; reuse the "
+                       "scheduled entry (or justify with a line "
+                       "suppression) to keep schedule allocation-free")
+            return
+        takes_callback = (
+            name is not None and "schedule" in name.lower()
+        ) or (
+            name == "append"
+            and isinstance(func, ast.Attribute)
+            and _terminal_name(func.value) == "callbacks"
+        )
+        if takes_callback:
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            if any(isinstance(arg, ast.Lambda) for arg in arguments):
+                shown = name if name != "append" else "callbacks.append"
+                self._emit(node, "SIM007",
+                           f"lambda closure passed to {shown}(...) "
+                           "allocates per event; bind a method or reuse "
+                           "a callable instead")
+
+
+def check_module(tree: ast.Module, hot_path: bool = False) -> List[RawFinding]:
     """All SIM findings for one parsed module, unsuppressed."""
-    return ModuleChecker(tree).run()
+    return ModuleChecker(tree, hot_path=hot_path).run()
 
 
-def check_source(source: str) -> Tuple[List[RawFinding], bool]:
+def check_source(
+    source: str, hot_path: bool = False
+) -> Tuple[List[RawFinding], bool]:
     """Parse and check; returns (findings, parsed_ok)."""
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
         return [RawFinding(exc.lineno or 1, (exc.offset or 1) - 1,
                            "SIM000", f"syntax error: {exc.msg}")], False
-    return check_module(tree), True
+    return check_module(tree, hot_path=hot_path), True

@@ -9,6 +9,7 @@ series of Fig. 4).
 from __future__ import annotations
 
 import math
+from array import array
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -68,18 +69,25 @@ class LatencyRecorder:
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self._samples: Dict[str, List[float]] = {}
+        # Samples live in compact C-double arrays: one object per label
+        # instead of one boxed float per sample, and record() is a dict
+        # probe plus an append.  array('d') round-trips Python floats
+        # exactly, so summaries are bit-identical to the list-backed ones.
+        self._samples: Dict[str, "array[float]"] = {}
 
     def record(self, latency_us: float, op: str = "all") -> None:
         """Add one latency sample under label ``op``."""
         if latency_us < 0:
             raise ValueError(f"negative latency {latency_us}")
-        self._samples.setdefault(op, []).append(latency_us)
+        samples = self._samples.get(op)
+        if samples is None:
+            samples = self._samples[op] = array("d")
+        samples.append(latency_us)
 
     def count(self, op: Optional[str] = None) -> int:
         """Number of samples for ``op`` (or across all labels)."""
         if op is not None:
-            return len(self._samples.get(op, []))
+            return len(self._samples.get(op, ()))
         return sum(len(samples) for samples in self._samples.values())
 
     def labels(self) -> List[str]:
@@ -89,7 +97,7 @@ class LatencyRecorder:
     def samples(self, op: Optional[str] = None) -> List[float]:
         """Copy of the raw samples for ``op`` (or all labels merged)."""
         if op is not None:
-            return list(self._samples.get(op, []))
+            return list(self._samples.get(op, ()))
         merged: List[float] = []
         for batch in self._samples.values():
             merged.extend(batch)

@@ -80,14 +80,18 @@ class Resource:
         return self._busy_slot_time
 
     def _account(self) -> None:
-        self._busy_slot_time += self._in_service * (self.env.now - self._last_change)
-        self._last_change = self.env.now
+        now = self.env._now
+        self._busy_slot_time += self._in_service * (now - self._last_change)
+        self._last_change = now
 
     def request(self) -> Request:
         """Ask for a slot; the returned event fires when the slot is granted."""
         grant = Request(self.env)
         if self._in_service < self.capacity and not self._waiting:
-            self._account()
+            # _account(), inlined: request/release bracket every flash op.
+            now = self.env._now
+            self._busy_slot_time += self._in_service * (now - self._last_change)
+            self._last_change = now
             self._in_service += 1
             grant.succeed(self)
         else:
@@ -96,9 +100,11 @@ class Resource:
 
     def release(self, request: Request) -> None:
         """Return a previously granted slot, waking the next waiter if any."""
-        if not request.triggered:
+        if not request._triggered:
             raise SimulationError("cannot release a request that was never granted")
-        self._account()
+        now = self.env._now
+        self._busy_slot_time += self._in_service * (now - self._last_change)
+        self._last_change = now
         if self._waiting:
             successor = self._waiting.popleft()
             successor.succeed(self)

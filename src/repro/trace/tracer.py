@@ -277,6 +277,10 @@ class Tracer:
         self._on_op = False
         self._on_phase = False
         self._cats = frozenset(self.config.categories)
+        # Categories that will actually record, i.e. empty until a clock
+        # is bound and whenever the tracer is disabled.  wants() then
+        # collapses to one frozenset probe on every hot-path guard.
+        self._active: frozenset = frozenset()
         if env is not None:
             self.bind(env)
 
@@ -289,6 +293,7 @@ class Tracer:
                 "tracer is already bound to a different environment"
             )
         self._env = env
+        self._active = self._cats if self.config.enabled else frozenset()
         self._on_op = self.wants("op")
         self._on_phase = self.wants("phase")
         self.collector.process_names.setdefault(self.pid, self.process_name)
@@ -301,11 +306,7 @@ class Tracer:
 
     def wants(self, cat: str) -> bool:
         """Whether records of category ``cat`` are being kept."""
-        return (
-            self.config.enabled
-            and self._env is not None
-            and cat in self._cats
-        )
+        return cat in self._active
 
     def now(self) -> float:
         """Current simulation time (microseconds)."""

@@ -217,6 +217,22 @@ class TestPointKey:
         assert len(salt) == 64
         int(salt, 16)
 
+    def test_code_version_salt_computed_once_per_process(self, monkeypatch):
+        """The source-tree walk happens once; later calls hit the memo.
+
+        Sweep workers call the salt once per cached point, so a
+        recomputation would re-hash the whole package tree per point.
+        """
+        from repro.exec import cache as cache_mod
+
+        salt = code_version_salt()  # ensure the memo is populated
+
+        def recomputed(*_args, **_kwargs):
+            raise AssertionError("code_version_salt re-walked the source tree")
+
+        monkeypatch.setattr(cache_mod.hashlib, "sha256", recomputed)
+        assert code_version_salt() == salt
+
 
 # ---------------------------------------------------------------------------
 # ResultCache

@@ -198,6 +198,50 @@ def test_sim006_allows_with_statement():
     ) == []
 
 
+def test_sim007_flags_hot_path_allocation_patterns():
+    hot = "src/repro/sim/queue.py"
+    packed = (
+        "from heapq import heappush\n"
+        "def schedule(queue, t, seq, event):\n"
+        "    heappush(queue, (t, seq, event))\n"
+    )
+    assert [f.code for f in lint_source(packed, hot)] == ["SIM007"]
+    closure = (
+        "def kick(env, op):\n"
+        "    env.schedule(lambda: op.run(), 5.0)\n"
+    )
+    assert [f.code for f in lint_source(closure, hot)] == ["SIM007"]
+    callback = (
+        "def wire(event, op):\n"
+        "    event.callbacks.append(lambda ev: op.finish(ev))\n"
+    )
+    assert [f.code for f in lint_source(callback, hot)] == ["SIM007"]
+
+
+def test_sim007_scoped_to_sim_and_flash_paths():
+    packed = (
+        "from heapq import heappush\n"
+        "def schedule(queue, t, seq, event):\n"
+        "    heappush(queue, (t, seq, event))\n"
+    )
+    # Outside the hot-path directories the pattern is fine (e.g. a
+    # priority queue in experiment orchestration code).
+    assert lint_source(packed, "src/repro/exec/engine.py") == []
+    assert lint_source(packed, "tools/replay.py") == []
+    assert [f.code for f in lint_source(packed, "src/repro/flash/nand.py")] \
+        == ["SIM007"]
+
+
+def test_sim007_allows_allocation_free_hot_code():
+    clean = (
+        "from heapq import heappush\n"
+        "def schedule(queue, entry, event, resume):\n"
+        "    heappush(queue, entry)\n"  # reused entry, no packing
+        "    event.callbacks.append(resume)\n"  # bound method, no lambda
+    )
+    assert lint_source(clean, "src/repro/sim/queue.py") == []
+
+
 # -- suppressions -------------------------------------------------------------
 
 
@@ -249,6 +293,7 @@ def test_syntax_error_reports_sim000():
 def test_rule_catalog_covers_all_emitted_codes():
     assert set(RULES) == {
         "SIM000", "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+        "SIM007",
     }
 
 
