@@ -1,0 +1,155 @@
+"""Cluster throughput benchmark: shard cells per second.
+
+Measures how fast the host executes one fixed cluster run — 4 shards,
+R=2, two tenants (YCSB A and B) — end to end: routing-plan derivation,
+per-shard priming, the routed segments, and result assembly.  Shards/sec
+is the per-shard unit cost that decides how the cluster figures scale on
+a laptop; cluster device-ops/sec is reported alongside.
+
+The cell is fixed — same spec, seeds, and geometry on every run — so
+successive entries in ``BENCH_cluster.json`` form a comparable
+trajectory.  CI's perf-smoke job runs with ``--gate`` and fails when
+throughput regresses more than the threshold against the last committed
+entry.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_throughput.py
+        [--reps N] [--record LABEL] [--gate] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.cluster import ClusterSpec, TenantSpec, run_cluster
+
+#: Fixed cell parameters (the cluster figures' acceptance shape, minus
+#: the degradation so the measurement is pure routed throughput).
+SHARDS = 4
+REPLICATION = 2
+PARTITIONS = 16
+N_OPS = 300
+POPULATION = 600
+
+#: Default trajectory file, at the repository root.
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+#: perf-smoke failure threshold: measured shards/sec below this fraction
+#: of the last committed entry fails the gate.
+GATE_FRACTION = 0.8
+
+
+def cluster_cell() -> int:
+    """One fixed serial cluster run; returns completed device ops."""
+    spec = ClusterSpec(
+        shards=SHARDS,
+        replication=REPLICATION,
+        partitions=PARTITIONS,
+        tenants=(
+            TenantSpec(name="ta", workload="A", n_ops=N_OPS,
+                       population=POPULATION, seed=11),
+            TenantSpec(name="tb", workload="B", n_ops=N_OPS,
+                       population=POPULATION, seed=12),
+        ),
+        seed=21,
+        verify=False,
+    )
+    result = run_cluster(spec)
+    assert result.zero_lost_writes
+    return result.completed_ops
+
+
+def run_benchmark(reps: int) -> dict:
+    """Run the fixed cell ``reps`` times; report the best repetition."""
+    best = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        completed = cluster_cell()
+        wall_s = time.perf_counter() - started
+        if best is None or wall_s < best["wall_s"]:
+            best = {"wall_s": wall_s, "completed": completed}
+    assert best is not None
+    return {
+        "shards_per_sec": round(SHARDS / best["wall_s"], 3),
+        "cluster_ops_per_sec": round(best["completed"] / best["wall_s"], 1),
+        "wall_s_per_cluster": round(best["wall_s"], 4),
+        "completed_ops": best["completed"],
+        "reps": reps,
+    }
+
+
+def load_trajectory(path: Path) -> list:
+    if not path.exists():
+        return []
+    return json.loads(path.read_text(encoding="ascii"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument(
+        "--record", metavar="LABEL",
+        help="append an entry labelled LABEL to the trajectory file",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="fail (exit 1) if shards/sec < %.0f%% of the last entry"
+        % (GATE_FRACTION * 100),
+    )
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON)
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(args.reps)
+    print(
+        f"cell: shards={SHARDS} R={REPLICATION} partitions={PARTITIONS} "
+        f"n_ops=2x{N_OPS} population=2x{POPULATION}"
+    )
+    print(
+        f"best of {args.reps}: {result['shards_per_sec']:.3f} shards/s, "
+        f"{result['cluster_ops_per_sec']:,.0f} cluster ops/s "
+        f"({result['wall_s_per_cluster']:.3f}s per cluster)"
+    )
+
+    trajectory = load_trajectory(args.json)
+
+    if args.gate and trajectory:
+        reference = trajectory[-1]["shards_per_sec"]
+        floor = reference * GATE_FRACTION
+        status = "PASS" if result["shards_per_sec"] >= floor else "FAIL"
+        print(
+            f"gate: {result['shards_per_sec']:.3f} shards/s vs committed "
+            f"{reference:.3f} (floor {floor:.3f}) -> {status}"
+        )
+        if status == "FAIL":
+            return 1
+
+    if args.record:
+        entry = {
+            "label": args.record,
+            "date": time.strftime("%Y-%m-%d"),
+            "python": platform.python_version(),
+            "cell": {
+                "shards": SHARDS,
+                "replication": REPLICATION,
+                "partitions": PARTITIONS,
+                "n_ops": N_OPS,
+                "population": POPULATION,
+            },
+        }
+        entry.update(result)
+        trajectory.append(entry)
+        args.json.write_text(
+            json.dumps(trajectory, indent=2) + "\n", encoding="ascii"
+        )
+        print(f"recorded {args.record!r} in {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,11 @@ behavior under real-world workloads and benchmarks, such as YCSB."  This
 bench delivers that exploration on the simulated testbed, comparing the
 KV-SSD against the RocksDB stand-in across all six core workloads.
 
+The measurement itself lives in :mod:`repro.kvbench.ycsb_sweep` as
+sweep-engine cells — each (workload, system) pair is an independent
+point, so ``REPRO_PARALLEL=N`` fans the grid over worker processes and
+re-runs hit the on-disk result cache.
+
 Expected shape (following the paper's Fig. 2 findings plus the known
 weakness of hash indexes):
 
@@ -15,52 +20,25 @@ weakness of hash indexes):
   point reads.
 """
 
-from conftest import banner, run_once
+from conftest import banner, figure_runner, run_once
 
-from repro.core.experiment import build_kv_rig, build_lsm_rig, lab_geometry
 from repro.kvbench.report import format_table
-from repro.kvbench.runner import execute_workload
-from repro.kvbench.ycsb import YCSBDriver, YCSBSpec, generate_ycsb
-from repro.kvftl.population import KeyScheme
+from repro.kvbench.ycsb_sweep import run_ycsb_sweep
 
 POPULATION = 3000
 N_OPS = 600
-SCHEME = KeyScheme(prefix=b"user", digits=12)
 
 
 def _run_all():
-    results = {}
-    for workload in ("A", "B", "C", "D", "E", "F"):
-        spec = YCSBSpec(
-            workload=workload,
-            n_ops=N_OPS,
-            population=POPULATION,
-            key_scheme=SCHEME,
-            value_bytes=1000,
-            scan_length=20,
-        )
-        kv_rig = build_kv_rig(lab_geometry(8))
-        kv_rig.device.fast_fill(POPULATION, 1000, SCHEME)
-        kv_run = execute_workload(
-            kv_rig.env,
-            YCSBDriver(kv_rig.adapter, spec),
-            generate_ycsb(spec),
-            queue_depth=8,
-            name=f"ycsb{workload}.kv",
-        )
-        lsm_rig = build_lsm_rig(lab_geometry(8))
-        lsm_rig.store.prime_fill(
-            {SCHEME.key_for(i): 1000 for i in range(POPULATION)}, level=3
-        )
-        lsm_run = execute_workload(
-            lsm_rig.env,
-            YCSBDriver(lsm_rig.adapter, spec),
-            generate_ycsb(spec),
-            queue_depth=8,
-            name=f"ycsb{workload}.lsm",
-        )
-        results[workload] = (kv_run.latency.mean(), lsm_run.latency.mean())
-    return results
+    table = run_ycsb_sweep(
+        n_ops=N_OPS,
+        population=POPULATION,
+        runner=figure_runner(),
+    )
+    return {
+        workload: (cells["kv"].mean_us, cells["lsm"].mean_us)
+        for workload, cells in table.items()
+    }
 
 
 def test_ycsb_workloads(benchmark):

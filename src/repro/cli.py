@@ -25,6 +25,7 @@ statistics go to stderr; stdout carries only the figure output.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional
@@ -198,6 +199,87 @@ def _print_faults(args: argparse.Namespace, runner: Optional[SweepRunner]) -> No
         print(f"wrote {written} sweep rows to {args.faults_out}")
 
 
+def _print_cluster(args: argparse.Namespace, runner: Optional[SweepRunner]) -> None:
+    # Lazy imports, like trace/faults: figure subcommands never pay for
+    # the cluster machinery.
+    from repro.cluster import ClusterSpec, DegradeEvent, TenantSpec, run_cluster
+
+    if args.cluster_smoke:
+        # CI-shaped smoke: 2 shards, R=2, one forced mid-run read-only
+        # degradation.  Exits non-zero if any acknowledged write is lost.
+        n_ops = args.cluster_ops
+        spec = ClusterSpec(
+            shards=2, replication=2, partitions=8, vnodes=8,
+            tenants=(
+                TenantSpec(name="ta", workload="A", n_ops=n_ops,
+                           population=2 * n_ops, seed=11),
+            ),
+            degrade=(DegradeEvent(shard=0, at_op=n_ops // 2),),
+            rebalance_window_ops=max(1, n_ops // 4),
+            seed=17,
+        )
+        result = run_cluster(spec, runner)
+        print(format_table(
+            ["shards", "R", "ops", "fail", "drain", "verified", "missing",
+             "degraded", "kops"],
+            [[spec.shards, spec.replication, result.completed_ops,
+              result.failed_ops, result.drain_ops, result.verify_checked,
+              result.verify_missing, result.degraded_shards,
+              round(result.throughput_kops(), 2)]],
+        ))
+        print(f"fingerprint: {result.fingerprint()}")
+        if not result.zero_lost_writes:
+            raise SystemExit("cluster smoke: lost acknowledged writes")
+        print("zero lost acknowledged writes")
+        return
+
+    from repro.core.figures import (
+        cluster_rebalance_tail,
+        cluster_replication_cost,
+        cluster_shard_scaling,
+    )
+
+    scaling = cluster_shard_scaling(n_ops=args.cluster_ops, runner=runner)
+    print("-- throughput vs shard count --")
+    print(format_table(
+        ["shards", "kops", "kops/shard", "router share", "ops"],
+        [[n, round(scaling.throughput_kops[n], 2),
+          round(scaling.per_shard_kops[n], 2),
+          round(scaling.router_share[n], 4), scaling.completed_ops[n]]
+         for n in scaling.shard_counts],
+    ))
+    print(f"scaling {min(scaling.shard_counts)}->{max(scaling.shard_counts)} "
+          f"shards: {scaling.scaling_ratio():.2f}x\n")
+
+    rebalance = cluster_rebalance_tail(n_ops=args.cluster_ops, runner=runner)
+    print("-- tail latency through a rebalance window --")
+    print(format_table(
+        ["phase", "ops", "mean us", "p99 us", "p999 us"],
+        [[label, int(cell["count"]), round(cell["mean"], 1),
+          round(cell["p99"], 1), round(cell["p999"], 1)]
+         for label, cell in rebalance.phases.items()],
+    ))
+    print(f"p99 inflation during rebalance: "
+          f"{rebalance.tail_inflation('p99'):.2f}x  "
+          f"(drain {rebalance.drain_ops} ops, "
+          f"router share {rebalance.router_share:.4f}, "
+          f"{rebalance.trace_spans} spans, "
+          f"zero-lost={rebalance.zero_lost_writes})\n")
+
+    replication = cluster_replication_cost(n_ops=args.cluster_ops,
+                                           runner=runner)
+    print("-- replication-factor cost --")
+    print(format_table(
+        ["R", "kops", "routed ops", "flash programs", "write cost",
+         "read p99 us"],
+        [[r, round(replication.throughput_kops[r], 2),
+          replication.routed_ops[r], replication.flash_programs[r],
+          round(replication.write_cost(r), 2),
+          round(replication.read_p99[r], 1)]
+         for r in replication.factors],
+    ))
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace, Optional[SweepRunner]], None]] = {
     "fig2": _print_fig2,
     "fig3": _print_fig3,
@@ -221,13 +303,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all", "fig", "trace", "faults", "lint"],
+        choices=sorted(_COMMANDS) + ["all", "fig", "trace", "faults",
+                                     "cluster", "lint"],
         help=(
             "which figure (or 'headline'/'all') to regenerate — 'fig' "
             "with a figure name as the next argument also works "
             "('repro fig fig4 --parallel 4') — 'trace' to record a span "
             "trace of a figure-shaped workload, 'faults' to sweep "
-            "statistical fault rates on both personalities, or 'lint' "
+            "statistical fault rates on both personalities, 'cluster' "
+            "to run the sharded multi-device cluster figures "
+            "(--smoke for the CI degradation check), or 'lint' "
             "to run the simlint static-analysis pass (extra args go to "
             "repro.lint)"
         ),
@@ -238,10 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="with 'fig': which figure to regenerate",
     )
     parser.add_argument(
-        "--parallel", type=int, default=1, metavar="N",
+        "--parallel", type=int,
+        default=int(os.environ.get("REPRO_PARALLEL", "1")), metavar="N",
         help=(
             "worker processes for independent experiment points "
-            "(default: 1 = serial; output is byte-identical either way)"
+            "(default: $REPRO_PARALLEL or 1 = serial; output is "
+            "byte-identical either way)"
         ),
     )
     parser.add_argument(
@@ -287,6 +374,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="faults: also write the sweep as CSV to PATH "
              "(parent directories are created)",
     )
+    parser.add_argument(
+        "--cluster-ops", type=int, default=300, metavar="N",
+        help="cluster: operations per tenant stream (default: 300)",
+    )
+    parser.add_argument(
+        "--smoke", dest="cluster_smoke", action="store_true",
+        help="cluster: run only the 2-shard R=2 forced-degradation "
+             "smoke check (exits non-zero on any lost write)",
+    )
     return parser
 
 
@@ -317,11 +413,13 @@ def main(argv: List[str] | None = None) -> int:
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
     )
-    if experiment in ("trace", "faults"):
-        # Excluded from 'all': these are diagnostic passes (a trace file,
-        # a reliability sweep), not figure regenerations.
+    if experiment in ("trace", "faults", "cluster"):
+        # Excluded from 'all': these are diagnostic/extension passes (a
+        # trace file, a reliability sweep, the multi-device cluster), not
+        # paper-figure regenerations.
         names = [experiment]
-        commands = {"trace": _print_trace, "faults": _print_faults}
+        commands = {"trace": _print_trace, "faults": _print_faults,
+                    "cluster": _print_cluster}
     elif experiment == "all":
         names = sorted(_COMMANDS)
         commands = _COMMANDS

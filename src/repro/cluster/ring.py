@@ -1,0 +1,131 @@
+"""Consistent-hash ring with virtual nodes.
+
+The router's placement function.  Each node contributes ``vnodes``
+points on a 64-bit ring; a token (here: a partition name) is owned by
+the first point at or clockwise-after its hash, and a replica set is the
+first ``n`` *distinct* nodes along that walk.
+
+Two properties the cluster leans on, both guaranteed by construction and
+pinned by the hypothesis suite (``tests/test_cluster_ring.py``):
+
+* **Determinism** — points are MD5 hashes of ``"node#vnode"`` strings,
+  so the ring is a pure function of the member names.  Python's salted
+  ``hash()`` never participates.
+* **Minimal disruption** — removing a node deletes only that node's
+  points.  Tokens whose walk never met those points keep their exact
+  replica order; tokens that did meet them keep the surviving prefix of
+  their replica set and extend it with the next distinct nodes.  Adding
+  the node back re-inserts the identical points, restoring the exact
+  prior assignment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def stable_hash(token: bytes) -> int:
+    """64-bit position of ``token`` on the ring (process-independent)."""
+    return int.from_bytes(hashlib.md5(token).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping tokens to member nodes."""
+
+    def __init__(self, nodes: Sequence[str], vnodes: int = 16) -> None:
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
+        if not nodes:
+            raise ConfigurationError("a hash ring needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ConfigurationError(f"duplicate ring nodes in {list(nodes)!r}")
+        self.vnodes = vnodes
+        #: Insertion-ordered member registry (points are derived from it).
+        self._members: Dict[str, bool] = {node: True for node in nodes}
+        self._points: List[Tuple[int, str]] = []
+        self._hashes: List[int] = []
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        """Current members, in insertion order."""
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._members
+
+    def add(self, node: str) -> None:
+        """Add ``node``; its points are a pure function of its name."""
+        if node in self._members:
+            raise ConfigurationError(f"node {node!r} already on the ring")
+        self._members[node] = True
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        """Remove ``node``, deleting only its own points."""
+        if node not in self._members:
+            raise ConfigurationError(f"node {node!r} not on the ring")
+        if len(self._members) == 1:
+            raise ConfigurationError("cannot remove the last ring node")
+        del self._members[node]
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        points: List[Tuple[int, str]] = []
+        for node in self._members:
+            for vnode in range(self.vnodes):
+                token = f"{node}#{vnode}".encode("ascii")
+                points.append((stable_hash(token), node))
+        # Ties (astronomically unlikely) break on the node name so the
+        # ring never depends on dict or construction order.
+        points.sort()
+        self._points = points
+        self._hashes = [position for position, _ in points]
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+
+    def primary(self, token: str) -> str:
+        """The node owning ``token``."""
+        return self.preference(token, 1)[0]
+
+    def preference(self, token: str, n: int) -> List[str]:
+        """First ``n`` distinct nodes clockwise from ``token``'s hash.
+
+        The order is the replica preference list: index 0 is the
+        primary.  ``n`` may not exceed the member count.
+        """
+        if n < 1:
+            raise ConfigurationError(f"replica count must be >= 1, got {n}")
+        if n > len(self._members):
+            raise ConfigurationError(
+                f"cannot pick {n} replicas from {len(self._members)} nodes"
+            )
+        start = bisect_right(self._hashes, stable_hash(token.encode("ascii")))
+        picked: List[str] = []
+        seen: Dict[str, bool] = {}
+        total = len(self._points)
+        for step in range(total):
+            node = self._points[(start + step) % total][1]
+            if node not in seen:
+                seen[node] = True
+                picked.append(node)
+                if len(picked) == n:
+                    break
+        return picked
+
+    def assignment(self, tokens: Sequence[str]) -> Dict[str, str]:
+        """Primary owner of every token (test/analysis helper)."""
+        return {token: self.primary(token) for token in tokens}

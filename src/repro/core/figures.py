@@ -1007,3 +1007,235 @@ def fig8_key_size_bandwidth(
             result.mib_s[mode][key_bytes] = cells[index]
             index += 1
     return result
+
+
+# ---------------------------------------------------------------------------
+# Cluster figures — beyond the paper's single device (ISSUE 7)
+#
+# The paper characterizes one PM983; its conclusion points at production
+# KV serving, which means many devices behind a routing layer.  These
+# three figures measure that layer: throughput scaling with shard count,
+# tail latency through a fault-driven rebalance, and the cost of the
+# replication factor.  Each cluster run fans out one simulated device
+# per sweep-engine worker (``repro.cluster``), so the caching/parallel
+# semantics match the paper figures exactly — at shard granularity.
+# ---------------------------------------------------------------------------
+
+
+def _cluster_tenants(n_ops: int, population: int):
+    """The default multi-tenant YCSB mix driving the cluster figures."""
+    from repro.cluster.spec import TenantSpec
+
+    return (
+        TenantSpec(name="ta", workload="A", n_ops=n_ops,
+                   population=population, seed=11),
+        TenantSpec(name="tb", workload="B", n_ops=n_ops,
+                   population=population, seed=12),
+    )
+
+
+@dataclass
+class ClusterScalingResult:
+    """Cluster throughput vs shard count at fixed replication."""
+
+    shard_counts: List[int]
+    replication: int
+    throughput_kops: Dict[int, float] = field(default_factory=dict)
+    per_shard_kops: Dict[int, float] = field(default_factory=dict)
+    router_share: Dict[int, float] = field(default_factory=dict)
+    completed_ops: Dict[int, int] = field(default_factory=dict)
+    stats_summary: Dict[int, Dict[str, float]] = field(default_factory=dict)
+
+    def scaling_ratio(self) -> float:
+        """Throughput gain from the smallest to the largest cluster."""
+        low = self.throughput_kops[min(self.shard_counts)]
+        high = self.throughput_kops[max(self.shard_counts)]
+        return high / low if low > 0 else 0.0
+
+
+def cluster_shard_scaling(
+    shard_counts: Sequence[int] = (2, 4, 8),
+    replication: int = 2,
+    n_ops: int = 300,
+    population: int = 900,
+    partitions: int = 16,
+    runner: Optional[SweepRunner] = None,
+) -> ClusterScalingResult:
+    """Cluster throughput vs shard count (fixed tenant mix and R).
+
+    The same multi-tenant YCSB stream is routed over progressively more
+    shards; throughput is completed device operations per millisecond of
+    makespan (the slowest shard bounds the cluster).
+    """
+    from repro.cluster.run import run_cluster
+    from repro.cluster.spec import ClusterSpec
+
+    result = ClusterScalingResult(list(shard_counts), replication)
+    for shards in shard_counts:
+        spec = ClusterSpec(
+            shards=shards,
+            replication=min(replication, shards),
+            partitions=partitions,
+            tenants=_cluster_tenants(n_ops, population),
+            seed=21,
+            verify=False,
+        )
+        cluster = run_cluster(spec, runner)
+        result.throughput_kops[shards] = cluster.throughput_kops()
+        result.per_shard_kops[shards] = cluster.throughput_kops() / shards
+        result.router_share[shards] = cluster.router_share()
+        result.completed_ops[shards] = cluster.completed_ops
+        result.stats_summary[shards] = device_stats_summary(
+            cluster.device_stats()
+        )
+    return result
+
+
+@dataclass
+class ClusterRebalanceResult:
+    """Tail latency through a mid-run read-only degradation."""
+
+    shards: int
+    replication: int
+    degraded_shard: int
+    #: phase label -> {count, mean, p99, p999}; p99/p999 are the worst
+    #: shard's (cluster tail), mean is count-weighted across shards.
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    drain_ops: int = 0
+    zero_lost_writes: bool = False
+    verify_checked: int = 0
+    router_share: float = 0.0
+    trace_spans: int = 0
+    fingerprint: str = ""
+    stats_summary: Dict[str, float] = field(default_factory=dict)
+
+    def tail_inflation(self, quantile: str = "p99") -> float:
+        """Rebalance-window tail over pre-fault tail (>= 1 expected)."""
+        pre = self.phases.get("pre", {}).get(quantile, 0.0)
+        rebalance = self.phases.get("rebalance", {}).get(quantile, 0.0)
+        return rebalance / pre if pre > 0 else 0.0
+
+
+def cluster_rebalance_tail(
+    shards: int = 4,
+    replication: int = 2,
+    n_ops: int = 400,
+    population: int = 800,
+    partitions: int = 16,
+    degrade_at: Optional[int] = None,
+    rebalance_window_ops: int = 200,
+    degraded_shard: int = 1,
+    runner: Optional[SweepRunner] = None,
+) -> ClusterRebalanceResult:
+    """p99/p999 before, during, and after a fault-driven rebalance.
+
+    One shard's device is degraded to read-only mid-run through the real
+    fault machinery; the router drains its ranges to replicas while
+    client traffic continues.  Per-phase latency shows the rebalance
+    window's tail cost.  Runs with span tracing on, so router-vs-device
+    attribution rides along.
+    """
+    from repro.cluster.run import run_cluster
+    from repro.cluster.spec import ClusterSpec, DegradeEvent
+
+    total = 2 * n_ops  # two tenants
+    at_op = degrade_at if degrade_at is not None else total // 2
+    spec = ClusterSpec(
+        shards=shards,
+        replication=replication,
+        partitions=partitions,
+        tenants=_cluster_tenants(n_ops, population),
+        degrade=(DegradeEvent(shard=degraded_shard, at_op=at_op),),
+        rebalance_window_ops=rebalance_window_ops,
+        seed=23,
+        trace=True,
+        verify=True,
+    )
+    cluster = run_cluster(spec, runner)
+    result = ClusterRebalanceResult(
+        shards=shards,
+        replication=replication,
+        degraded_shard=degraded_shard,
+        drain_ops=cluster.drain_ops,
+        zero_lost_writes=cluster.zero_lost_writes,
+        verify_checked=cluster.verify_checked,
+        router_share=cluster.router_share(),
+        trace_spans=sum(s.trace_spans for s in cluster.shards),
+        fingerprint=cluster.fingerprint(),
+        stats_summary=device_stats_summary(cluster.device_stats()),
+    )
+    for label in ("pre", "rebalance", "post", "drain"):
+        count = 0
+        weighted_mean = 0.0
+        p99 = p999 = 0.0
+        for shard in cluster.shards:
+            summary = shard.latency.get(label)
+            if summary is None:
+                continue
+            count += summary.count
+            weighted_mean += summary.mean * summary.count
+            p99 = max(p99, summary.p99)
+            p999 = max(p999, summary.p999)
+        if count == 0:
+            continue
+        result.phases[label] = {
+            "count": float(count),
+            "mean": weighted_mean / count,
+            "p99": p99,
+            "p999": p999,
+        }
+    return result
+
+
+@dataclass
+class ClusterReplicationResult:
+    """Throughput and media cost of the replication factor."""
+
+    factors: List[int]
+    shards: int
+    throughput_kops: Dict[int, float] = field(default_factory=dict)
+    routed_ops: Dict[int, int] = field(default_factory=dict)
+    flash_programs: Dict[int, int] = field(default_factory=dict)
+    read_p99: Dict[int, float] = field(default_factory=dict)
+    stats_summary: Dict[int, Dict[str, float]] = field(default_factory=dict)
+
+    def write_cost(self, factor: int) -> float:
+        """Flash programs at R=``factor`` relative to R=1."""
+        base = self.flash_programs.get(1, 0)
+        return self.flash_programs[factor] / base if base else 0.0
+
+
+def cluster_replication_cost(
+    factors: Sequence[int] = (1, 2, 3),
+    shards: int = 4,
+    n_ops: int = 300,
+    population: int = 900,
+    partitions: int = 16,
+    runner: Optional[SweepRunner] = None,
+) -> ClusterReplicationResult:
+    """Write-all fan-out cost as the replication factor grows.
+
+    Same stream, same shards, R swept: routed device operations and
+    flash programs grow with R while read tails stay flat (read-one).
+    """
+    from repro.cluster.run import run_cluster
+    from repro.cluster.spec import ClusterSpec
+
+    result = ClusterReplicationResult(list(factors), shards)
+    for factor in factors:
+        spec = ClusterSpec(
+            shards=shards,
+            replication=factor,
+            partitions=partitions,
+            tenants=_cluster_tenants(n_ops, population),
+            seed=29,
+            verify=False,
+        )
+        cluster = run_cluster(spec, runner)
+        result.throughput_kops[factor] = cluster.throughput_kops()
+        result.routed_ops[factor] = cluster.routed_ops
+        stats = cluster.device_stats()
+        result.flash_programs[factor] = stats.flash_programs
+        result.read_p99[factor] = cluster.tail("pre")[0]
+        result.stats_summary[factor] = device_stats_summary(stats)
+    return result

@@ -1,0 +1,158 @@
+"""YCSB core workloads A–F as sweep-engine cells.
+
+Each (workload, system) pair is one :class:`~repro.exec.spec.SweepPoint`
+whose cell, :func:`ycsb_cell`, is a module-level pure function of
+primitives — the shape the sweep engine requires for process-pool
+pickling and content-addressed caching.  The bench
+``benchmarks/bench_ycsb_workloads.py`` and the cluster's multi-tenant
+router both build on the same cells, so "YCSB on this testbed" has
+exactly one definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.experiment import build_kv_rig, build_lsm_rig, lab_geometry
+from repro.errors import WorkloadError
+from repro.exec.runner import SweepRunner, execute_spec
+from repro.exec.spec import SweepPoint, SweepSpec
+from repro.kvbench.runner import execute_workload
+from repro.kvbench.ycsb import YCSBDriver, YCSBSpec, generate_ycsb
+from repro.kvftl.population import KeyScheme
+
+#: The six YCSB core workloads, in canonical order.
+YCSB_WORKLOADS = ("A", "B", "C", "D", "E", "F")
+#: Systems the cells can drive: the KV-SSD and the RocksDB stand-in.
+YCSB_SYSTEMS = ("kv", "lsm")
+#: Key namespace shared by every cell (YCSB's "user########..." keys).
+_SCHEME = KeyScheme(prefix=b"user", digits=12)
+
+
+@dataclass(frozen=True)
+class YCSBCellResult:
+    """One (workload, system) measurement (picklable, cacheable)."""
+
+    workload: str
+    system: str
+    mean_us: float
+    p99_us: float
+    throughput_kops: float
+    completed_ops: int
+    failed_ops: int
+
+
+def ycsb_cell(
+    workload: str,
+    system: str,
+    n_ops: int = 600,
+    population: int = 3000,
+    value_bytes: int = 1000,
+    scan_length: int = 20,
+    queue_depth: int = 8,
+    blocks_per_plane: int = 8,
+    seed: int = 1,
+) -> YCSBCellResult:
+    """Run one YCSB workload against one system — the sweep cell."""
+    if system not in YCSB_SYSTEMS:
+        raise WorkloadError(
+            f"unknown system {system!r}; expected one of {YCSB_SYSTEMS}"
+        )
+    spec = YCSBSpec(
+        workload=workload,
+        n_ops=n_ops,
+        population=population,
+        key_scheme=_SCHEME,
+        value_bytes=value_bytes,
+        scan_length=scan_length,
+        seed=seed,
+    )
+    geometry = lab_geometry(blocks_per_plane)
+    if system == "kv":
+        rig = build_kv_rig(geometry)
+        rig.device.fast_fill(population, value_bytes, _SCHEME)
+        adapter = rig.adapter
+        env = rig.env
+    else:
+        lsm_rig = build_lsm_rig(geometry)
+        lsm_rig.store.prime_fill(
+            {_SCHEME.key_for(i): value_bytes for i in range(population)},
+            level=3,
+        )
+        adapter = lsm_rig.adapter
+        env = lsm_rig.env
+    run = execute_workload(
+        env,
+        YCSBDriver(adapter, spec),
+        generate_ycsb(spec),
+        queue_depth=queue_depth,
+        name=f"ycsb{workload}.{system}",
+    )
+    return YCSBCellResult(
+        workload=workload,
+        system=system,
+        mean_us=run.latency.mean(),
+        p99_us=run.latency.summary().p99,
+        throughput_kops=run.throughput_kops(),
+        completed_ops=run.completed_ops,
+        failed_ops=run.failed_ops,
+    )
+
+
+def ycsb_sweep_spec(
+    workloads: Tuple[str, ...] = YCSB_WORKLOADS,
+    systems: Tuple[str, ...] = YCSB_SYSTEMS,
+    n_ops: int = 600,
+    population: int = 3000,
+    value_bytes: int = 1000,
+    scan_length: int = 20,
+    queue_depth: int = 8,
+    blocks_per_plane: int = 8,
+    seed: int = 1,
+) -> SweepSpec:
+    """The workload-by-system grid as one sweep spec."""
+    points = tuple(
+        SweepPoint(
+            label=f"{workload}.{system}",
+            fn=ycsb_cell,
+            kwargs={
+                "workload": workload,
+                "system": system,
+                "n_ops": n_ops,
+                "population": population,
+                "value_bytes": value_bytes,
+                "scan_length": scan_length,
+                "queue_depth": queue_depth,
+                "blocks_per_plane": blocks_per_plane,
+                "seed": seed,
+            },
+            seed=seed,
+        )
+        for workload in workloads
+        for system in systems
+    )
+    return SweepSpec(name="ycsb", points=points)
+
+
+def run_ycsb_sweep(
+    workloads: Tuple[str, ...] = YCSB_WORKLOADS,
+    n_ops: int = 600,
+    population: int = 3000,
+    runner: Optional[SweepRunner] = None,
+    **kwargs: int,
+) -> Dict[str, Dict[str, YCSBCellResult]]:
+    """Execute the grid; results keyed ``[workload][system]``.
+
+    ``runner=None`` runs cells inline; a :class:`SweepRunner` adds
+    process-pool fan-out and the on-disk cache.  Assembly is spec-order
+    either way, so the mapping is deterministic.
+    """
+    spec = ycsb_sweep_spec(
+        workloads=workloads, n_ops=n_ops, population=population, **kwargs
+    )
+    cells = execute_spec(spec, runner)
+    table: Dict[str, Dict[str, YCSBCellResult]] = {}
+    for cell in cells:
+        table.setdefault(cell.workload, {})[cell.system] = cell
+    return table

@@ -129,6 +129,25 @@ def test_trace_command_writes_perfetto_file(capsys, tmp_path):
     assert document["displayTimeUnit"] == "ms"
 
 
+def test_cluster_smoke_command_end_to_end(capsys, tmp_path):
+    exit_code = main([
+        "cluster", "--smoke", "--cluster-ops", "60",
+        "--parallel", "2", "--cache-dir", str(tmp_path / "cache"),
+    ])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "degraded" in captured
+    assert "fingerprint: " in captured
+    assert "zero lost acknowledged writes" in captured
+
+
+def test_parallel_defaults_from_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "3")
+    assert build_parser().parse_args(["cluster"]).parallel == 3
+    monkeypatch.delenv("REPRO_PARALLEL")
+    assert build_parser().parse_args(["cluster"]).parallel == 1
+
+
 def test_exec_statistics_go_to_stderr_not_stdout(capsys, tmp_path):
     exit_code = main([
         "fig8", "--n-ops", "150", "--parallel", "2",

@@ -1,0 +1,308 @@
+"""Acceptance tests for the sharded multi-device cluster (ISSUE 7).
+
+The headline properties:
+
+* a seeded 4-shard R=2 run with one mid-run read-only degradation
+  completes with zero lost acknowledged writes;
+* serial, process-pool, and cache-served executions produce
+  byte-identical cluster fingerprints;
+* quota-rejected inserts never reach a device;
+* the router's op accounting balances exactly.
+"""
+
+from typing import Iterator, Tuple
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    DegradeEvent,
+    TenantSpec,
+    aggregate_device_stats,
+    run_cluster,
+)
+from repro.cluster.router import build_plan, interleave, shard_plan
+from repro.cluster.router import PlannedOp
+from repro.cluster.run import ClusterResult
+from repro.cluster.spec import shard_name
+from repro.errors import ConfigurationError
+from repro.exec.runner import SweepRunner
+from repro.ftl.core import DeviceStats
+from repro.kvbench.workload import OpType
+
+
+def _acceptance_spec() -> ClusterSpec:
+    """The issue's acceptance scenario, sized for test runtime."""
+    return ClusterSpec(
+        shards=4,
+        replication=2,
+        partitions=16,
+        tenants=(
+            TenantSpec(name="ta", workload="A", n_ops=150,
+                       population=300, seed=11),
+            TenantSpec(name="tb", workload="B", n_ops=150,
+                       population=300, seed=12),
+        ),
+        degrade=(DegradeEvent(shard=1, at_op=150),),
+        rebalance_window_ops=100,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def acceptance_run() -> Iterator[Tuple[ClusterSpec, ClusterResult]]:
+    spec = _acceptance_spec()
+    yield spec, run_cluster(spec)
+
+
+# -- zero lost acknowledged writes ---------------------------------------------
+
+
+def test_degraded_run_loses_no_acknowledged_writes(acceptance_run):
+    spec, result = acceptance_run
+    assert result.degraded_shards == [1]
+    assert result.failed_ops == 0
+    assert result.verify_checked > 0
+    assert result.verify_missing == 0
+    assert result.zero_lost_writes
+    # The retirement produced real drain traffic onto the survivors.
+    assert result.drain_ops > 0
+    degraded = result.shards[1]
+    assert degraded.degraded and degraded.sacrificial_writes > 0
+    assert degraded.degrade_at_us > 0
+    for shard in result.shards:
+        if shard.shard != 1:
+            assert not shard.degraded
+
+
+def test_rebalance_phases_are_recorded(acceptance_run):
+    _, result = acceptance_run
+    labels = set()
+    for shard in result.shards:
+        labels.update(shard.latency)
+    assert {"pre", "rebalance", "drain"} <= labels
+    p99, p999 = result.tail("rebalance")
+    assert 0 < p99 <= p999
+
+
+def test_cluster_rollups_are_consistent(acceptance_run):
+    spec, result = acceptance_run
+    assert result.client_ops == spec.total_client_ops
+    # Write replication routs more device ops than the client issued.
+    assert result.routed_ops > result.client_ops
+    assert result.completed_ops == result.routed_ops + result.drain_ops
+    assert result.elapsed_us > 0
+    assert result.throughput_kops() > 0
+    assert 0 < result.router_share() < 1
+    stats = result.device_stats()
+    assert stats.flash_programs > 0
+    assert stats.flash_reads > 0
+
+
+# -- byte-reproducibility across execution modes -------------------------------
+
+
+def test_fingerprint_identical_serial_parallel_cached(acceptance_run, tmp_path):
+    spec, serial = acceptance_run
+    runner = SweepRunner(workers=2, cache=True, cache_dir=str(tmp_path))
+    parallel = run_cluster(spec, runner)
+    assert parallel.fingerprint() == serial.fingerprint()
+    cached = run_cluster(spec, runner)
+    assert cached.fingerprint() == serial.fingerprint()
+    # The second runner pass was served entirely from the on-disk cache.
+    report = runner.last_report
+    assert report.hits == spec.shards
+
+
+# -- router plan properties ----------------------------------------------------
+
+
+def test_plan_accounting_balances(acceptance_run):
+    spec, _ = acceptance_run
+    plan = build_plan(spec)
+    assert plan.client_ops == spec.total_client_ops
+    emitted = sum(program.total_ops for program in plan.programs)
+    assert emitted == plan.routed_ops + plan.drain_ops
+    # Every program a worker re-derives matches the full plan's slice.
+    for program in plan.programs:
+        assert shard_plan(spec, program.shard) == program
+    # The degraded shard left the directory entirely.
+    retired = shard_name(1)
+    assert all(
+        retired not in holders for holders in plan.final_directory.values()
+    )
+    assert any(
+        retired in holders for holders in plan.initial_directory.values()
+    )
+    # Surviving entries hold exactly R (3 survivors >= R=2) replicas.
+    assert all(
+        len(holders) == spec.replication
+        for holders in plan.final_directory.values()
+    )
+
+
+def test_interleave_is_proportional_and_order_preserving():
+    primary = [PlannedOp(OpType.READ, 0, i, 0, "pre") for i in range(6)]
+    extra = [PlannedOp(OpType.INSERT, 0, i, 8, "drain") for i in range(3)]
+    merged = interleave(primary, extra)
+    assert len(merged) == 9
+    assert [op.index for op in merged if op.label == "pre"] == list(range(6))
+    assert [op.index for op in merged if op.label == "drain"] == list(range(3))
+    # The extras spread through the stream instead of clumping at an end.
+    positions = [i for i, op in enumerate(merged) if op.label == "drain"]
+    assert positions[0] < 3 and positions[-1] >= len(merged) - 3
+    assert interleave(primary, []) == primary
+    assert interleave([], extra) == extra
+
+
+# -- tenant quotas -------------------------------------------------------------
+
+
+def test_quota_rejected_inserts_never_reach_a_device():
+    # Workload D is insert-heavy; cap the tenant at its prefill so every
+    # insert bounces off the router.
+    spec = ClusterSpec(
+        shards=2,
+        replication=1,
+        partitions=8,
+        vnodes=8,
+        tenants=(
+            TenantSpec(name="tq", workload="D", n_ops=120, population=200,
+                       quota_pairs=200, seed=5),
+        ),
+        seed=9,
+    )
+    plan = build_plan(spec)
+    assert plan.rejected_inserts["tq"] > 0
+    for program in plan.programs:
+        for segment in program.segments:
+            for op in segment:
+                assert op.index < 200  # nothing past the quota was routed
+    result = run_cluster(spec)
+    assert result.zero_lost_writes
+    assert result.rejected_inserts["tq"] == plan.rejected_inserts["tq"]
+
+
+def test_unlimited_quota_accepts_inserts():
+    spec = ClusterSpec(
+        shards=2,
+        replication=1,
+        partitions=8,
+        vnodes=8,
+        tenants=(
+            TenantSpec(name="tq", workload="D", n_ops=120, population=200,
+                       seed=5),
+        ),
+        seed=9,
+    )
+    plan = build_plan(spec)
+    assert plan.rejected_inserts["tq"] == 0
+    assert any(
+        op.index >= 200
+        for program in plan.programs
+        for segment in program.segments
+        for op in segment
+    )
+
+
+# -- personalities and edge shapes ---------------------------------------------
+
+
+def test_mixed_personality_cluster_runs_clean():
+    spec = ClusterSpec(
+        shards=2,
+        replication=2,
+        partitions=8,
+        vnodes=8,
+        personalities=("kv", "block"),
+        tenants=(
+            TenantSpec(name="ta", workload="B", n_ops=60, population=120,
+                       seed=3),
+        ),
+        seed=13,
+    )
+    result = run_cluster(spec)
+    assert result.zero_lost_writes
+    assert [shard.personality for shard in result.shards] == ["kv", "block"]
+    # Only the KV shard runs device-side verification.
+    assert result.shards[0].verify_checked > 0
+    assert result.shards[1].verify_checked == 0
+
+
+def test_r1_degradation_under_replicates_but_loses_nothing():
+    spec = ClusterSpec(
+        shards=2,
+        replication=1,
+        partitions=8,
+        vnodes=8,
+        tenants=(
+            TenantSpec(name="ta", workload="B", n_ops=80, population=160,
+                       seed=3),
+        ),
+        degrade=(DegradeEvent(shard=0, at_op=40),),
+        rebalance_window_ops=30,
+        seed=13,
+    )
+    result = run_cluster(spec)
+    assert result.degraded_shards == [0]
+    assert result.zero_lost_writes
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+def test_aggregate_device_stats_sums_fields():
+    a = DeviceStats()
+    b = DeviceStats()
+    a.flash_programs = 3
+    b.flash_programs = 4
+    a.flash_reads = 10
+    total = aggregate_device_stats([a, b])
+    assert total.flash_programs == 7
+    assert total.flash_reads == 10
+    # Inputs are left untouched.
+    assert a.flash_programs == 3 and b.flash_programs == 4
+
+
+# -- spec validation -----------------------------------------------------------
+
+
+def test_spec_validation_rejects_bad_shapes():
+    tenant = TenantSpec(name="ta", workload="A", n_ops=10, population=10)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(shards=0)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(shards=2, replication=3)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(tenants=())
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(tenants=(tenant, tenant))  # duplicate tag
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(shards=2, personalities=("kv",))
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(shards=2, personalities=("kv", "optane"))
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(
+            shards=2, tenants=(tenant,),
+            degrade=(DegradeEvent(shard=0, at_op=0),
+                     DegradeEvent(shard=1, at_op=1)),
+        )  # would retire every shard
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(
+            shards=4, tenants=(tenant,),
+            degrade=(DegradeEvent(shard=0, at_op=10),),
+        )  # at_op past the stream end
+    with pytest.raises(ConfigurationError):
+        TenantSpec(name="!x", workload="A", n_ops=10, population=10)
+    with pytest.raises(ConfigurationError):
+        TenantSpec(name="ta", workload="G", n_ops=10, population=10)
+    with pytest.raises(ConfigurationError):
+        TenantSpec(name="ta", workload="A", n_ops=10, population=10,
+                   quota_pairs=5)
+
+
+def test_tenant_tags_are_four_byte_prefixes():
+    assert TenantSpec(name="a", workload="A", n_ops=1,
+                      population=1).tag == b"a___"
+    assert TenantSpec(name="longname", workload="A", n_ops=1,
+                      population=1).tag == b"long"

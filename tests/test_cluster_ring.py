@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the cluster's consistent-hash ring.
+
+The two load-bearing properties from the module docstring of
+``repro.cluster.ring``:
+
+* removing a node remaps only the tokens it owned (everything else keeps
+  its exact primary, and the remapped fraction tracks 1/N within a
+  vnode-variance tolerance);
+* adding the node back restores the exact prior assignment, because ring
+  points are a pure function of member names.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import HashRing, stable_hash
+from repro.errors import ConfigurationError
+
+# Node pools are drawn as unique short names; tokens mimic the router's
+# "tenant/partition" placement tokens.
+node_names = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=6),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+token_sets = st.lists(
+    st.integers(min_value=0, max_value=4096).map(lambda i: f"ten/{i}"),
+    min_size=1,
+    max_size=200,
+    unique=True,
+)
+vnode_counts = st.integers(min_value=1, max_value=64)
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+@given(nodes=node_names, tokens=token_sets, vnodes=vnode_counts)
+@settings(max_examples=50)
+def test_assignment_is_a_pure_function_of_membership(nodes, tokens, vnodes):
+    """Construction order never matters: same members, same placement."""
+    forward = HashRing(nodes, vnodes=vnodes)
+    backward = HashRing(list(reversed(nodes)), vnodes=vnodes)
+    assert forward.assignment(tokens) == backward.assignment(tokens)
+
+
+def test_stable_hash_is_process_independent():
+    # Pinned constant: MD5 of b"shard0#0", first 8 bytes big-endian.
+    # A change here means every cached cluster result is invalidated.
+    assert stable_hash(b"shard0#0") == 0x1D817794D01D2955
+
+
+# -- minimal disruption on removal ---------------------------------------------
+
+
+@given(nodes=node_names, tokens=token_sets, vnodes=vnode_counts)
+@settings(max_examples=50)
+def test_remove_remaps_only_the_removed_nodes_tokens(nodes, tokens, vnodes):
+    ring = HashRing(nodes, vnodes=vnodes)
+    victim = nodes[0]
+    before = ring.assignment(tokens)
+    ring.remove(victim)
+    after = ring.assignment(tokens)
+    for token in tokens:
+        if before[token] != victim:
+            # Survivor-owned tokens must not move at all.
+            assert after[token] == before[token]
+        else:
+            assert after[token] != victim
+
+
+@given(nodes=node_names, vnodes=st.integers(min_value=8, max_value=64))
+@settings(max_examples=25)
+def test_removed_fraction_tracks_one_over_n(nodes, vnodes):
+    """The remapped share approximates 1/N, within vnode variance.
+
+    With few vnodes per node the arc lengths are noisy, so the bound is
+    loose: the removed node must own *some* tokens' worth of the ring
+    less than the whole of it.  A dense fixed token set keeps the
+    measurement itself deterministic.
+    """
+    tokens = [f"ten/{i}" for i in range(1024)]
+    ring = HashRing(nodes, vnodes=vnodes)
+    victim = nodes[0]
+    owned = sum(
+        1 for owner in ring.assignment(tokens).values() if owner == victim
+    )
+    fraction = owned / len(tokens)
+    expected = 1.0 / len(nodes)
+    # Arc-length variance of `vnodes` random points: generous envelope
+    # of 4x either way, which still rejects a broken (all-or-nothing)
+    # placement while passing every healthy configuration.
+    assert fraction <= min(1.0, 4.0 * expected)
+    if vnodes >= 16 and len(nodes) <= 4:
+        assert fraction >= expected / 4.0
+
+
+@given(nodes=node_names, tokens=token_sets, vnodes=vnode_counts)
+@settings(max_examples=50)
+def test_surviving_replica_prefix_is_preserved(nodes, tokens, vnodes):
+    """Replica lists lose only the removed node; survivors keep order."""
+    ring = HashRing(nodes, vnodes=vnodes)
+    victim = nodes[-1]
+    replicas = min(3, len(nodes))
+    before = {token: ring.preference(token, replicas) for token in tokens}
+    ring.remove(victim)
+    after_n = min(replicas, len(ring))
+    for token in tokens:
+        survivors = [node for node in before[token] if node != victim]
+        assert ring.preference(token, after_n)[: len(survivors)] == survivors
+
+
+# -- add-back restores the prior world -----------------------------------------
+
+
+@given(nodes=node_names, tokens=token_sets, vnodes=vnode_counts)
+@settings(max_examples=50)
+def test_add_back_restores_exact_prior_assignment(nodes, tokens, vnodes):
+    ring = HashRing(nodes, vnodes=vnodes)
+    replicas = min(3, len(nodes))
+    before_primary = ring.assignment(tokens)
+    before_pref = {token: ring.preference(token, replicas) for token in tokens}
+    victim = nodes[len(nodes) // 2]
+    ring.remove(victim)
+    ring.add(victim)
+    assert ring.assignment(tokens) == before_primary
+    for token in tokens:
+        assert ring.preference(token, replicas) == before_pref[token]
+
+
+# -- guard rails ---------------------------------------------------------------
+
+
+def test_ring_rejects_degenerate_configurations():
+    with pytest.raises(ConfigurationError):
+        HashRing([])
+    with pytest.raises(ConfigurationError):
+        HashRing(["a", "a"])
+    with pytest.raises(ConfigurationError):
+        HashRing(["a"], vnodes=0)
+    ring = HashRing(["a", "b"])
+    with pytest.raises(ConfigurationError):
+        ring.add("a")
+    with pytest.raises(ConfigurationError):
+        ring.remove("zz")
+    with pytest.raises(ConfigurationError):
+        ring.preference("t", 3)
+    ring.remove("a")
+    with pytest.raises(ConfigurationError):
+        ring.remove("b")
+    assert ring.primary("t") == "b"
