@@ -280,6 +280,65 @@ def _print_cluster(args: argparse.Namespace, runner: Optional[SweepRunner]) -> N
     ))
 
 
+def _print_frontend(args: argparse.Namespace, runner: Optional[SweepRunner]) -> None:
+    # Lazy import, like trace/faults/cluster: figure subcommands never
+    # pay for the serving-frontend machinery.
+    from repro.frontend.run import frontend_load_sweep
+
+    try:
+        loads = tuple(
+            float(x) for x in args.loads.split(",") if x.strip()
+        )
+    except ValueError:
+        raise SystemExit(f"bad --loads value: {args.loads!r}")
+    if not loads or any(load <= 0.0 for load in loads):
+        raise SystemExit(f"bad --loads value: {args.loads!r}")
+    result = frontend_load_sweep(
+        loads_kops=loads,
+        n_requests=args.frontend_ops,
+        scheduler=args.scheduler,
+        runner=runner,
+    )
+    rows = []
+    for load in result.loads_kops:
+        row: List[object] = [f"{load:g}"]
+        for cls in result.class_names:
+            row.extend([
+                round(result.p50[cls][load], 1),
+                round(result.p99[cls][load], 1),
+                round(result.p999[cls][load], 1),
+                round(100.0 * result.shed_fraction[cls][load], 1),
+                round(100.0 * result.violation_fraction[cls][load], 1),
+            ])
+        row.append(round(result.throughput_kops[load], 1))
+        rows.append(row)
+    header = ["kops"]
+    for cls in result.class_names:
+        header.extend([f"{cls} p50", f"{cls} p99", f"{cls} p999",
+                       f"{cls} shed%", f"{cls} viol%"])
+    header.append("thr kops")
+    print(format_table(header, rows))
+    knee = result.knee_kops()
+    if knee is None:
+        print("\nno saturation knee within the swept loads")
+    else:
+        share = result.queueing_share("lat", knee)
+        print(f"\nsaturation knee at {knee:g} kops offered "
+              f"(queueing accounts for {100.0 * share:.0f}% of the "
+              "added lat-class p99)")
+    if args.slo_gate is not None:
+        base = result.loads_kops[0]
+        violation = result.violation_fraction["lat"][base]
+        if violation > args.slo_gate:
+            raise SystemExit(
+                f"frontend SLO gate: lat-class violation fraction "
+                f"{violation:.3f} at {base:g} kops exceeds the "
+                f"--slo-gate {args.slo_gate:g} budget"
+            )
+        print(f"SLO gate ok: lat-class violations {violation:.3f} "
+              f"<= {args.slo_gate:g} at {base:g} kops")
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace, Optional[SweepRunner]], None]] = {
     "fig2": _print_fig2,
     "fig3": _print_fig3,
@@ -304,7 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(_COMMANDS) + ["all", "fig", "trace", "faults",
-                                     "cluster", "lint"],
+                                     "cluster", "frontend", "lint"],
         help=(
             "which figure (or 'headline'/'all') to regenerate — 'fig' "
             "with a figure name as the next argument also works "
@@ -312,9 +371,10 @@ def build_parser() -> argparse.ArgumentParser:
             "trace of a figure-shaped workload, 'faults' to sweep "
             "statistical fault rates on both personalities, 'cluster' "
             "to run the sharded multi-device cluster figures "
-            "(--smoke for the CI degradation check), or 'lint' "
-            "to run the simlint static-analysis pass (extra args go to "
-            "repro.lint)"
+            "(--smoke for the CI degradation check), 'frontend' to "
+            "sweep the open-loop serving frontend over offered load, "
+            "or 'lint' to run the simlint static-analysis pass "
+            "(extra args go to repro.lint)"
         ),
     )
     parser.add_argument(
@@ -383,6 +443,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster: run only the 2-shard R=2 forced-degradation "
              "smoke check (exits non-zero on any lost write)",
     )
+    parser.add_argument(
+        "--loads", default="16,32,64,128,256,512", metavar="K,K,...",
+        help="frontend: comma-separated offered loads in kops "
+             "(default: 16,32,64,128,256,512)",
+    )
+    parser.add_argument(
+        "--frontend-ops", type=int, default=800, metavar="N",
+        help="frontend: requests offered per load point (default: 800)",
+    )
+    parser.add_argument(
+        "--scheduler", default="edf", choices=["edf", "fifo"],
+        help="frontend: dispatch policy (default: edf)",
+    )
+    parser.add_argument(
+        "--slo-gate", type=float, default=None, metavar="FRAC",
+        help="frontend: exit non-zero if the lat class violates its SLO "
+             "more than FRAC of the time at the lowest offered load",
+    )
     return parser
 
 
@@ -413,13 +491,13 @@ def main(argv: List[str] | None = None) -> int:
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
     )
-    if experiment in ("trace", "faults", "cluster"):
+    if experiment in ("trace", "faults", "cluster", "frontend"):
         # Excluded from 'all': these are diagnostic/extension passes (a
-        # trace file, a reliability sweep, the multi-device cluster), not
-        # paper-figure regenerations.
+        # trace file, a reliability sweep, the multi-device cluster, the
+        # serving-frontend load sweep), not paper-figure regenerations.
         names = [experiment]
         commands = {"trace": _print_trace, "faults": _print_faults,
-                    "cluster": _print_cluster}
+                    "cluster": _print_cluster, "frontend": _print_frontend}
     elif experiment == "all":
         names = sorted(_COMMANDS)
         commands = _COMMANDS

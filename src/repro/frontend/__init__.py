@@ -1,0 +1,34 @@
+"""Open-loop serving frontend: arrivals, admission, batching, SLO dispatch.
+
+The paper drives devices closed-loop at a fixed queue depth (Sec. III);
+this package models the serving path in front of that device — an
+open-loop arrival process feeding an event-loop frontend that batches
+commands into the NVMe submission model, sheds load when the admission
+queue fills, and schedules SLO classes deadline-aware.  Offered load
+becomes an independent variable, which is what turns fig4's queue-depth
+sweep into a latency-vs-offered-load curve with a saturation knee.
+"""
+
+from repro.frontend.arrivals import ArrivalSpec, generate_arrivals
+from repro.frontend.frontend import (
+    FrontendRunResult,
+    Request,
+    ServingFrontend,
+    run_frontend,
+)
+from repro.frontend.run import FrontendLoadResult, frontend_load_sweep
+from repro.frontend.spec import FrontendSpec, SLOClass, TenantLoad
+
+__all__ = [
+    "ArrivalSpec",
+    "generate_arrivals",
+    "FrontendSpec",
+    "SLOClass",
+    "TenantLoad",
+    "Request",
+    "ServingFrontend",
+    "FrontendRunResult",
+    "run_frontend",
+    "FrontendLoadResult",
+    "frontend_load_sweep",
+]

@@ -58,6 +58,10 @@ class NvmeStatus(enum.IntEnum):
     LBA_OUT_OF_RANGE = 0x080
     CAPACITY_EXCEEDED = 0x081
     NAMESPACE_WRITE_PROTECTED = 0x020
+    #: "Command Interrupted" (NVMe base spec SC 21h): the controller asks
+    #: the host to resubmit later — the status an admission-control layer
+    #: returns when it sheds load.
+    COMMAND_INTERRUPTED = 0x021
     INVALID_FIELD = 0x002
     # -- media and data integrity errors (SCT 2) ------------------------
     WRITE_FAULT = 0x280

@@ -141,6 +141,57 @@ def test_cluster_smoke_command_end_to_end(capsys, tmp_path):
     assert "zero lost acknowledged writes" in captured
 
 
+def test_frontend_command_end_to_end(capsys, tmp_path):
+    """`repro frontend` prints the latency-vs-load table, the knee line,
+    and routes exec statistics to stderr — under a 2-way worker pool."""
+    exit_code = main([
+        "frontend", "--loads", "16,384", "--frontend-ops", "240",
+        "--slo-gate", "0.05", "--parallel", "2",
+        "--cache-dir", str(tmp_path / "cache"),
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "lat p99" in captured.out and "bulk p99" in captured.out
+    assert "saturation knee at 384 kops" in captured.out
+    assert "SLO gate ok" in captured.out
+    assert "[exec] frontend" in captured.err
+    assert "[exec]" not in captured.out
+
+
+def test_frontend_parallel_output_is_byte_identical(capsys, tmp_path):
+    base = ["--loads", "16,128", "--frontend-ops", "160",
+            "--cache-dir", str(tmp_path / "cache")]
+    serial = _figure_stdout(capsys, ["frontend", "--parallel", "1"] + base)
+    parallel = _figure_stdout(capsys, ["frontend", "--parallel", "2"] + base)
+    assert parallel == serial
+
+
+def test_frontend_rejects_bad_loads():
+    with pytest.raises(SystemExit, match="--loads"):
+        main(["frontend", "--loads", "16,banana"])
+    with pytest.raises(SystemExit, match="--loads"):
+        main(["frontend", "--loads=-4,16"])
+
+
+def test_frontend_slo_gate_exits_nonzero(capsys):
+    """An impossible SLO budget must fail the gate with a non-zero exit."""
+    with pytest.raises(SystemExit, match="SLO gate"):
+        main(["frontend", "--loads", "512", "--frontend-ops", "400",
+              "--slo-gate", "0.05", "--no-cache"])
+
+
+def test_parser_accepts_frontend_flags():
+    args = build_parser().parse_args(
+        ["frontend", "--loads", "8,16", "--frontend-ops", "99",
+         "--scheduler", "fifo", "--slo-gate", "0.1"]
+    )
+    assert args.experiment == "frontend"
+    assert args.loads == "8,16"
+    assert args.frontend_ops == 99
+    assert args.scheduler == "fifo"
+    assert args.slo_gate == 0.1
+
+
 def test_parallel_defaults_from_environment(monkeypatch):
     monkeypatch.setenv("REPRO_PARALLEL", "3")
     assert build_parser().parse_args(["cluster"]).parallel == 3

@@ -371,6 +371,29 @@ class TestEquivalence:
         )
         assert _trace_fingerprint(parallel) == _trace_fingerprint(serial)
 
+    def test_frontend_sweep_serial_parallel_cached_identical(self, tmp_path):
+        """The open-loop frontend sweep inherits the engine's guarantee:
+        serial, process-pool parallel, and cache-served runs of the same
+        spec are value-identical."""
+        from repro.frontend.run import frontend_load_sweep
+
+        kwargs = dict(loads_kops=(16.0, 256.0), n_requests=160,
+                      blocks_per_plane=8)
+        serial = frontend_load_sweep(**kwargs)
+        parallel = frontend_load_sweep(
+            **kwargs, runner=SweepRunner(workers=2, cache=False)
+        )
+        assert parallel == serial
+        cache_dir = tmp_path / "cache"
+        cold = frontend_load_sweep(
+            **kwargs, runner=SweepRunner(workers=1, cache_dir=cache_dir)
+        )
+        warm_runner = SweepRunner(workers=1, cache_dir=cache_dir)
+        warm = frontend_load_sweep(**kwargs, runner=warm_runner)
+        assert cold == serial and warm == serial
+        report = warm_runner.last_report
+        assert report.hits == 2 and report.computed == 0
+
     def test_cache_hit_equals_cold_compute(self, tmp_path):
         cache_dir = tmp_path / "cache"
         cold = run_fault_sweep(

@@ -1,28 +1,20 @@
 """Smoke tests for the figure experiments at miniature scale.
 
-The benchmarks run the figures at reproduction scale; these tests run the
-same code paths at the smallest meaningful sizes so `pytest tests/`
-exercises every experiment end to end in seconds.
+The benchmarks run the figures at reproduction scale; these tests assert
+the *shape* of the miniature runs registered in
+``tests.conftest.FIGURE_CASES`` — the same memoized results the golden
+suite diffs, so each mini figure executes once per session no matter how
+many suites consume it.
 """
 
 import pytest
 
-from repro.core.figures import (
-    fig2_end_to_end,
-    fig4_value_size_concurrency,
-    fig5_packing_bandwidth,
-    fig6_foreground_gc,
-    fig7_space_amplification,
-    fig8_key_size_bandwidth,
-)
 from repro.units import KIB
+from tests.conftest import figure_result
 
 
-def test_fig2_minimal_kv_only():
-    result = fig2_end_to_end(
-        n_ops=250, systems=("kvssd",), patterns=("seq", "rand"),
-        blocks_per_plane=8,
-    )
+def test_fig2_minimal():
+    result = figure_result("fig2")
     phases = result.latency_us["kvssd"]["rand"]
     assert set(phases) == {"insert", "update", "read"}
     assert all(value > 0 for value in phases.values())
@@ -35,28 +27,21 @@ def test_fig2_minimal_kv_only():
 
 
 def test_fig4_single_cell():
-    result = fig4_value_size_concurrency(
-        value_sizes=(4 * KIB,), queue_depths=(1,), n_ops=200,
-        blocks_per_plane=8,
-    )
+    result = figure_result("fig4")
     ratio = result.ratio["write"][1][4 * KIB]
     assert 1.5 < ratio < 4.0  # the paper's ~2.5x zone
     assert result.latency_us["kv"]["write"][1][4 * KIB] > 0
 
 
 def test_fig5_boundary_pair():
-    result = fig5_packing_bandwidth(
-        value_sizes=(24 * KIB, 25 * KIB), n_ops=200, blocks_per_plane=8
-    )
+    result = figure_result("fig5")
     assert result.kv_fragments[24 * KIB] == 1
     assert result.kv_fragments[25 * KIB] == 3
     assert result.kv_mib_s[25 * KIB] < result.kv_mib_s[24 * KIB]
 
 
 def test_fig7_three_sizes():
-    result = fig7_space_amplification(
-        value_sizes=(50, 1024, 4096), kvps=3000, blocks_per_plane=8
-    )
+    result = figure_result("fig7")
     assert result.sa["kvssd"][50] > 10.0
     assert result.sa["kvssd"][4096] < 1.05
     assert result.sa["aerospike"][50] < 2.0
@@ -70,9 +55,7 @@ def test_fig6_golden_foreground_gc_shape():
     RocksDB-on-block scenario, with the tail ordering that follows.  A
     change here means the GC engine's behavior shifted, not just noise —
     the run is fully deterministic."""
-    result = fig6_foreground_gc(
-        blocks_per_plane=4, scenarios=("kv-uniform", "rocksdb-uniform"),
-    )
+    result = figure_result("fig6")
     assert result.foreground_gc_runs["kv-uniform"] > 0
     assert result.foreground_gc_runs["rocksdb-uniform"] == 0
     kv_p99 = result.latency_summary["kv-uniform"]["p99"]
@@ -86,10 +69,21 @@ def test_fig6_golden_foreground_gc_shape():
 
 
 def test_fig8_cliff_minimal():
-    result = fig8_key_size_bandwidth(
-        key_sizes=(16, 24), n_ops=400, async_queue_depth=16,
-        blocks_per_plane=8,
-    )
+    result = figure_result("fig8")
     assert result.commands[16] == 1
     assert result.commands[24] == 2
     assert result.mib_s["async"][24] < result.mib_s["async"][16]
+
+
+def test_fig_frontend_knee_shape():
+    """The serving-frontend mini sweep must show the open-loop story:
+    a saturation knee between the plateau load and the overload point,
+    with pre-submit queueing absorbing most of the added lat-class tail
+    (per the request timestamp trails)."""
+    result = figure_result("fig_frontend")
+    low, high = result.loads_kops
+    assert result.knee_kops() == high
+    assert result.p99["lat"][high] > result.p99["lat"][low]
+    assert result.queueing_share("lat", high) >= 0.8
+    # Overload cannot push completed throughput past device capacity.
+    assert result.throughput_kops[high] < high

@@ -1,11 +1,12 @@
 """Golden-figure regression suite.
 
-Each case runs a deliberately small version of one paper figure and
-reduces it to a flat dict of named *shape metrics* — latencies, ratios,
-bandwidths, counters — that capture what the figure shows.  The metrics
-are diffed against ``tests/golden/<fig>.json``; because every experiment
-is seeded and simulated-time based, a drift beyond the (tiny) tolerance
-means the model's behavior changed, not that the host got slower.
+Each registered case (``tests.conftest.FIGURE_CASES``) runs a
+deliberately small version of one paper figure and reduces it to a flat
+dict of named *shape metrics* — latencies, ratios, bandwidths, counters —
+that capture what the figure shows.  The metrics are diffed against
+``tests/golden/<fig>.json``; because every experiment is seeded and
+simulated-time based, a drift beyond the (tiny) tolerance means the
+model's behavior changed, not that the host got slower.
 
 Regenerate after an *intentional* behavior change with::
 
@@ -19,19 +20,10 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Callable, Dict, Union
 
 import pytest
 
-from repro.core.figures import (
-    fig2_end_to_end,
-    fig3_index_occupancy,
-    fig4_value_size_concurrency,
-    fig5_packing_bandwidth,
-    fig6_foreground_gc,
-    fig7_space_amplification,
-    fig8_key_size_bandwidth,
-)
+from tests.conftest import FIGURE_CASES, figure_result
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -40,160 +32,10 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 #: benign serialization noise — anything larger is real drift.
 REL_TOL = 1e-9
 
-Metric = Union[int, float]
 
-
-def _fig2_metrics() -> Dict[str, Metric]:
-    result = fig2_end_to_end(
-        n_ops=250,
-        queue_depth=8,
-        systems=("kvssd", "rocksdb"),
-        patterns=("rand",),
-        blocks_per_plane=8,
-    )
-    metrics: Dict[str, Metric] = {}
-    for system in ("kvssd", "rocksdb"):
-        for phase in ("insert", "update", "read"):
-            metrics[f"{system}.rand.{phase}_us"] = (
-                result.latency_us[system]["rand"][phase]
-            )
-        metrics[f"{system}.cpu_us_per_op"] = result.cpu_us_per_op[system]
-    metrics["rocksdb_over_kv.insert"] = (
-        result.latency_us["rocksdb"]["rand"]["insert"]
-        / result.latency_us["kvssd"]["rand"]["insert"]
-    )
-    return metrics
-
-
-def _fig3_metrics() -> Dict[str, Metric]:
-    result = fig3_index_occupancy(
-        value_bytes=512,
-        low_fraction=0.0005,
-        high_fraction=0.5,
-        measured_ops=200,
-        blocks_per_plane=8,
-    )
-    metrics: Dict[str, Metric] = {
-        "low_kvps": result.low_kvps,
-        "high_kvps": result.high_kvps,
-    }
-    for device in ("kv", "block"):
-        for occupancy in ("low", "high"):
-            for op in ("read", "write"):
-                metrics[f"{device}.{occupancy}.{op}_us"] = (
-                    result.latency_us[device][occupancy][op]
-                )
-    metrics["kv.read_degradation"] = (
-        result.latency_us["kv"]["high"]["read"]
-        / result.latency_us["kv"]["low"]["read"]
-    )
-    return metrics
-
-
-def _fig4_metrics() -> Dict[str, Metric]:
-    result = fig4_value_size_concurrency(
-        value_sizes=(4096,),
-        queue_depths=(1, 64),
-        n_ops=200,
-        blocks_per_plane=8,
-    )
-    metrics: Dict[str, Metric] = {}
-    for op in ("read", "write"):
-        for qd in (1, 64):
-            metrics[f"ratio.{op}.qd{qd}"] = result.ratio[op][qd][4096]
-            metrics[f"kv.{op}.qd{qd}_us"] = (
-                result.latency_us["kv"][op][qd][4096]
-            )
-    return metrics
-
-
-def _fig5_metrics() -> Dict[str, Metric]:
-    sizes = (24 * 1024, 25 * 1024)
-    result = fig5_packing_bandwidth(
-        value_sizes=sizes,
-        n_ops=200,
-        queue_depth=32,
-        blocks_per_plane=8,
-    )
-    metrics: Dict[str, Metric] = {}
-    for size in sizes:
-        metrics[f"kv.{size}.mib_s"] = result.kv_mib_s[size]
-        metrics[f"block.{size}.mib_s"] = result.block_mib_s[size]
-        metrics[f"kv.{size}.fragments"] = result.kv_fragments[size]
-    return metrics
-
-
-def _fig6_metrics() -> Dict[str, Metric]:
-    result = fig6_foreground_gc(
-        blocks_per_plane=4,
-        scenarios=("kv-uniform", "rocksdb-uniform"),
-    )
-    metrics: Dict[str, Metric] = {}
-    for scenario in ("kv-uniform", "rocksdb-uniform"):
-        metrics[f"{scenario}.foreground_gc_runs"] = (
-            result.foreground_gc_runs[scenario]
-        )
-        metrics[f"{scenario}.waf"] = result.stats_summary[scenario]["waf"]
-        metrics[f"{scenario}.gc_moved_mib"] = (
-            result.stats_summary[scenario]["gc_moved_mib"]
-        )
-        metrics[f"{scenario}.p99_us"] = (
-            result.latency_summary[scenario]["p99"]
-        )
-        series = result.series[scenario]
-        metrics[f"{scenario}.series_len"] = len(series)
-        metrics[f"{scenario}.series_min"] = min(series)
-        metrics[f"{scenario}.series_max"] = max(series)
-    return metrics
-
-
-def _fig7_metrics() -> Dict[str, Metric]:
-    sizes = (50, 1024, 4096)
-    result = fig7_space_amplification(
-        value_sizes=sizes, kvps=3000, blocks_per_plane=8
-    )
-    metrics: Dict[str, Metric] = {
-        "max_kvps_full_scale": result.max_kvps_full_scale,
-        "rocksdb.sa": result.sa["rocksdb"][sizes[0]],
-    }
-    for size in sizes:
-        metrics[f"kvssd.{size}.sa"] = result.sa["kvssd"][size]
-        metrics[f"kvssd.{size}.analytic"] = result.kv_analytic[size]
-        metrics[f"aerospike.{size}.sa"] = result.sa["aerospike"][size]
-    return metrics
-
-
-def _fig8_metrics() -> Dict[str, Metric]:
-    keys = (16, 24)
-    result = fig8_key_size_bandwidth(
-        key_sizes=keys, n_ops=400, blocks_per_plane=8
-    )
-    metrics: Dict[str, Metric] = {}
-    for key_bytes in keys:
-        metrics[f"commands.k{key_bytes}"] = result.commands[key_bytes]
-        for mode in ("sync", "async"):
-            metrics[f"{mode}.k{key_bytes}.mib_s"] = (
-                result.mib_s[mode][key_bytes]
-            )
-    metrics["cliff_ratio.sync"] = result.cliff_ratio("sync")
-    metrics["cliff_ratio.async"] = result.cliff_ratio("async")
-    return metrics
-
-
-GOLDEN_CASES: Dict[str, Callable[[], Dict[str, Metric]]] = {
-    "fig2": _fig2_metrics,
-    "fig3": _fig3_metrics,
-    "fig4": _fig4_metrics,
-    "fig5": _fig5_metrics,
-    "fig6": _fig6_metrics,
-    "fig7": _fig7_metrics,
-    "fig8": _fig8_metrics,
-}
-
-
-@pytest.mark.parametrize("fig", sorted(GOLDEN_CASES))
+@pytest.mark.parametrize("fig", sorted(FIGURE_CASES))
 def test_golden_figure(fig: str, regen_golden: bool) -> None:
-    metrics = GOLDEN_CASES[fig]()
+    metrics = FIGURE_CASES[fig].metrics(figure_result(fig))
     path = GOLDEN_DIR / f"{fig}.json"
     if regen_golden:
         path.parent.mkdir(parents=True, exist_ok=True)
