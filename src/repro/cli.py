@@ -363,7 +363,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(_COMMANDS) + ["all", "fig", "trace", "faults",
-                                     "cluster", "frontend", "lint"],
+                                     "cluster", "frontend", "lint",
+                                     "sanitize"],
         help=(
             "which figure (or 'headline'/'all') to regenerate — 'fig' "
             "with a figure name as the next argument also works "
@@ -373,8 +374,10 @@ def build_parser() -> argparse.ArgumentParser:
             "to run the sharded multi-device cluster figures "
             "(--smoke for the CI degradation check), 'frontend' to "
             "sweep the open-loop serving frontend over offered load, "
-            "or 'lint' to run the simlint static-analysis pass "
-            "(extra args go to repro.lint)"
+            "'lint' to run the simlint static-analysis pass "
+            "(extra args go to repro.lint), or 'sanitize' to replay a "
+            "figure under the runtime nondeterminism sanitizer "
+            "(extra args go to repro.lint.sanitizer)"
         ),
     )
     parser.add_argument(
@@ -473,6 +476,12 @@ def main(argv: List[str] | None = None) -> int:
         from repro.lint.__main__ import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["sanitize"]:
+        # Same pattern: the sanitizer owns its argument surface
+        # (--fig/--target, --n-ops, --hash-seeds, --smoke).
+        from repro.lint.sanitizer import main as sanitize_main
+
+        return sanitize_main(argv[1:])
     args = build_parser().parse_args(argv)
     experiment = args.experiment
     if experiment == "fig":

@@ -41,15 +41,19 @@ def code_version_salt() -> str:
 
     Computed over the installed package tree so edits to any layer of
     the simulator — not just the experiment code — invalidate cached
-    results.
+    results.  File discovery goes through the canonical walker in
+    :mod:`repro.lint.sources`, the same one the lint pass uses, so a
+    stray ``.py`` under ``__pycache__`` (or any other artifact
+    directory) can neither perturb the salt nor escape analysis.
     """
     global _salt_memo
     if _salt_memo is None:
         import repro
+        from repro.lint.sources import walk_python_sources
 
         package_root = Path(repro.__file__).resolve().parent
         digest = hashlib.sha256()
-        for path in sorted(package_root.rglob("*.py")):
+        for path in walk_python_sources(package_root):
             digest.update(str(path.relative_to(package_root)).encode())
             digest.update(b"\0")
             digest.update(path.read_bytes())

@@ -33,8 +33,10 @@ class SweepPoint:
     #: Stable identity within the spec, e.g. ``"kv/qd64/4096"``; used in
     #: progress/error reporting, not in the cache key.
     label: str
-    #: The cell function; called as ``fn(**kwargs)``.
-    fn: Callable[..., Any]
+    #: The cell function; called as ``fn(**kwargs)``.  Deliberately not
+    #: canonicalizable: point_key hashes fn by module.qualname identity,
+    #: never through exec/cache.canonical.
+    fn: Callable[..., Any]  # simlint: disable=SIM011
     #: Complete inputs of the cell (hashed into the cache key).
     kwargs: Mapping[str, Any] = field(default_factory=dict)
     #: Extra cache-key salt for seeded variants of otherwise-equal cells.

@@ -2,15 +2,27 @@
 
 Exit status 0 when clean, 1 when there are findings (or a file fails
 to parse).  ``repro lint`` in the main CLI routes here.
+
+Beyond the plain report, the entry point exposes the whole-program
+machinery directly:
+
+* ``--sarif [FILE]`` writes a SARIF 2.1.0 log (GitHub renders it as
+  inline PR annotations);
+* ``--graph`` dumps the resolved call graph instead of linting;
+* ``--explain SIM008`` prints a rule's rationale with minimal bad/good
+  examples, sourced from the rule implementation's docstring;
+* ``--timings`` appends per-rule wall times so CI can watch the
+  whole-program pass stay fast.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.lint.engine import format_findings, lint_paths
+from repro.lint.engine import format_findings, lint_tree, to_sarif
 from repro.lint.rules import RULES
 
 #: Default lint target when no paths are given (repo-relative).
@@ -21,7 +33,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="simlint: simulation-correctness static analysis "
-                    "(SIM001-SIM006)",
+                    "(per-module SIM001-SIM007 plus whole-program "
+                    "SIM008-SIM012)",
     )
     parser.add_argument(
         "paths", nargs="*", default=list(DEFAULT_PATHS), metavar="PATH",
@@ -31,7 +44,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--explain", metavar="CODE",
+        help="print one rule's rationale and bad/good examples, then exit",
+    )
+    parser.add_argument(
+        "--sarif", nargs="?", const="-", metavar="FILE",
+        help="emit findings as SARIF 2.1.0 to FILE (default stdout) "
+             "instead of the plain report",
+    )
+    parser.add_argument(
+        "--graph", action="store_true",
+        help="dump the resolved whole-program call graph and exit",
+    )
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="append per-rule wall times to the report",
+    )
     return parser
+
+
+def _explain(code: str) -> int:
+    code = code.upper()
+    if code not in RULES:
+        print(f"unknown rule {code!r}; try --list-rules", file=sys.stderr)
+        return 2
+    print(f"{code}: {RULES[code]}")
+    from repro.lint.dataflow import rule_docstring
+
+    doc = rule_docstring(code)
+    if doc is not None:
+        print()
+        lines = doc.expandtabs().splitlines()
+        # Strip the common leading indentation of the docstring body.
+        body = lines[1:]
+        indents = [
+            len(line) - len(line.lstrip())
+            for line in body if line.strip()
+        ]
+        cut = min(indents) if indents else 0
+        print(lines[0].strip())
+        for line in body:
+            print(line[cut:] if line.strip() else "")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -40,8 +95,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         for code in sorted(RULES):
             print(f"{code}  {RULES[code]}")
         return 0
-    findings = lint_paths(args.paths)
-    print(format_findings(findings))
+    if args.explain:
+        return _explain(args.explain)
+    if args.graph:
+        from repro.lint.callgraph import Project
+
+        print(Project.build(args.paths).format_graph())
+        return 0
+    findings, timings = lint_tree(args.paths)
+    if args.sarif is not None:
+        document = json.dumps(to_sarif(findings), indent=2, sort_keys=True)
+        if args.sarif == "-":
+            print(document)
+        else:
+            with open(args.sarif, "w", encoding="utf-8") as handle:
+                handle.write(document + "\n")
+            print(f"simlint: wrote SARIF to {args.sarif} "
+                  f"({len(findings)} findings)")
+    else:
+        print(format_findings(findings))
+    if args.timings:
+        total = sum(seconds for _, seconds in timings)
+        for label, seconds in timings:
+            print(f"simlint-timing: {label} {seconds * 1000:.1f}ms")
+        print(f"simlint-timing: total {total * 1000:.1f}ms")
     return 1 if findings else 0
 
 

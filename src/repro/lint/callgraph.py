@@ -1,0 +1,420 @@
+"""Project-wide symbol table and call graph for whole-program rules.
+
+The per-module rules in :mod:`repro.lint.rules` see one file at a time;
+the cross-module rules (SIM008–SIM012 in :mod:`repro.lint.dataflow`)
+need to follow a value through ``a() -> b() -> c()`` across files.  This
+module builds the shared substrate from the same stdlib-``ast`` parse:
+
+* a :class:`Project` — every module under the linted paths, parsed once,
+  with dotted module names derived from package structure;
+* a symbol table — every module-level function, method, and class under
+  a fully qualified name (``repro.cluster.run.run_cluster``,
+  ``repro.sim.engine.Environment.timeout``);
+* per-module :class:`Resolver` objects mapping local names through
+  imports and aliases back to qualified names (project symbols resolve
+  to project entries; stdlib references resolve to dotted strings like
+  ``time.perf_counter`` that the taint rules pattern-match);
+* a call graph — for each function, the resolved callees plus the raw
+  call sites, with :meth:`Project.transitive_callees` for reachability.
+
+Resolution is deliberately *name-based and first-order*: direct calls,
+``from``-imports, module aliases, and ``self.method(...)`` within the
+defining class resolve; calls through arbitrary object attributes,
+dynamic dispatch, and inherited methods do not (they appear as
+unresolved attribute calls, which the dataflow rules may still match by
+terminal name).  DESIGN.md §15 spells out what this over- and
+under-approximates.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.sources import iter_python_sources
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qualname: str
+    module: str
+    path: str
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    class_name: Optional[str] = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def param_names(self) -> List[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if args.vararg is not None:
+            names.append(args.vararg.arg)
+        names.extend(a.arg for a in args.kwonlyargs)
+        if args.kwarg is not None:
+            names.append(args.kwarg.arg)
+        return names
+
+
+@dataclass
+class ClassInfo:
+    """One class definition in the project."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    #: Local method name -> fully qualified method name.
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: Terminal names of the decorator list (``dataclass`` detection).
+    decorators: Tuple[str, ...] = ()
+    #: Keyword flags passed to a ``@dataclass(...)`` decorator call.
+    dataclass_kwargs: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def is_dataclass(self) -> bool:
+        return "dataclass" in self.decorators
+
+    @property
+    def is_frozen_dataclass(self) -> bool:
+        return self.is_dataclass and self.dataclass_kwargs.get("frozen", False)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus its name-resolution environment."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source: str
+    #: from-imported local name -> fully qualified target.
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: module-alias local name -> dotted module path.
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: Local function/method qualname ("f", "Cls.m") -> global qualname.
+    functions: Dict[str, str] = field(default_factory=dict)
+    #: Local class name -> global qualname.
+    classes: Dict[str, str] = field(default_factory=dict)
+    #: Module-level assigned names -> the assigned value expression.
+    module_globals: Dict[str, ast.expr] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    caller: str
+    #: Resolved callee qualname, or None when resolution failed.
+    callee: Optional[str]
+    node: ast.Call
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` as a dotted string, or None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path`` from its package structure.
+
+    Walks up through directories containing ``__init__.py`` so
+    ``src/repro/exec/cache.py`` names itself ``repro.exec.cache`` no
+    matter which directory the walk was anchored at.  A file outside
+    any package is just its stem.
+    """
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.append(parent.name)
+        parent = parent.parent
+    if not parts:  # a bare __init__.py outside any package
+        parts = [path.stem]
+    return ".".join(reversed(parts))
+
+
+class Resolver:
+    """Resolve local names of one module to qualified names."""
+
+    def __init__(self, project: "Project", module: ModuleInfo) -> None:
+        self.project = project
+        self.module = module
+
+    def resolve_name(self, name: str) -> Optional[str]:
+        """Qualified target of a bare local name, or None."""
+        module = self.module
+        if name in module.functions:
+            return module.functions[name]
+        if name in module.classes:
+            return module.classes[name]
+        if name in module.imports:
+            return module.imports[name]
+        if name in module.module_aliases:
+            return module.module_aliases[name]
+        if name in module.module_globals:
+            return f"{module.name}.{name}"
+        return None
+
+    def resolve_expr(
+        self, node: ast.expr, current_class: Optional[str] = None
+    ) -> Optional[str]:
+        """Qualified target of a Name/Attribute chain, or None.
+
+        ``self.m`` resolves within ``current_class`` when the class
+        defines ``m``; chains rooted at a module alias append their
+        attribute path (``np.random.default_rng`` ->
+        ``numpy.random.default_rng``).
+        """
+        if isinstance(node, ast.Name):
+            return self.resolve_name(node.id)
+        if not isinstance(node, ast.Attribute):
+            return None
+        dotted = _dotted(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head == "self" and current_class is not None and rest:
+            info = self.project.classes.get(
+                f"{self.module.name}.{current_class}"
+            )
+            first, _, _ = rest.partition(".")
+            if info is not None and first in info.methods:
+                suffix = rest[len(first):]
+                return info.methods[first] + suffix
+            return None
+        base = self.resolve_name(head)
+        if base is None:
+            return None
+        # A from-imported *class* used as ``Cls.method`` / ``Cls.attr``
+        # and a module alias used as ``mod.symbol`` compose the same way.
+        return f"{base}.{rest}" if rest else base
+
+    def resolve_call(
+        self, node: ast.Call, current_class: Optional[str] = None
+    ) -> Optional[str]:
+        """Qualified callee of a call expression, or None."""
+        return self.resolve_expr(node.func, current_class)
+
+
+class Project:
+    """All modules under the analyzed paths, with symbols and calls."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: caller qualname -> resolved callee qualnames.
+        self.edges: Dict[str, Set[str]] = {}
+        #: caller qualname -> every call site in its body.
+        self.call_sites: Dict[str, List[CallSite]] = {}
+        #: Files that failed to parse (reported as SIM000 elsewhere).
+        self.unparsed: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, paths: Sequence["str | os.PathLike[str]"]
+    ) -> "Project":
+        """Parse every python source under ``paths`` into one project."""
+        project = cls()
+        for path in iter_python_sources(paths):
+            try:
+                source = Path(path).read_text(encoding="utf-8")
+                tree = ast.parse(source)
+            except (OSError, SyntaxError):
+                project.unparsed.append(str(path))
+                continue
+            project._add_module(Path(path), source, tree)
+        project._link_calls()
+        return project
+
+    def _add_module(self, path: Path, source: str, tree: ast.Module) -> None:
+        name = module_name_for(path)
+        module = ModuleInfo(name=name, path=str(path), tree=tree,
+                            source=source)
+        self.modules[name] = module
+        for node in tree.body:
+            self._collect_toplevel(module, node)
+        # Imports can appear at any nesting level (lazy imports inside
+        # functions are idiomatic here); collect them module-wide.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    module.module_aliases.setdefault(local, target)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.imports.setdefault(local, f"{base}.{alias.name}")
+
+    @staticmethod
+    def _import_base(
+        module: ModuleInfo, node: ast.ImportFrom
+    ) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        # Relative import: resolve against this module's package.
+        package_parts = module.name.split(".")[:-1]
+        if node.level - 1 > len(package_parts):
+            return None
+        if node.level > 1:
+            package_parts = package_parts[: -(node.level - 1)]
+        if node.module:
+            package_parts = package_parts + node.module.split(".")
+        return ".".join(package_parts) if package_parts else None
+
+    def _collect_toplevel(self, module: ModuleInfo, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{module.name}.{node.name}"
+            self.functions[qual] = FunctionInfo(
+                qualname=qual, module=module.name, path=module.path,
+                node=node,
+            )
+            module.functions[node.name] = qual
+        elif isinstance(node, ast.ClassDef):
+            qual = f"{module.name}.{node.name}"
+            info = ClassInfo(
+                qualname=qual, module=module.name, path=module.path,
+                node=node,
+                decorators=tuple(
+                    name for name in (
+                        _terminal_name(
+                            d.func if isinstance(d, ast.Call) else d
+                        )
+                        for d in node.decorator_list
+                    )
+                    if name is not None
+                ),
+                dataclass_kwargs=_dataclass_kwargs(node),
+            )
+            self.classes[qual] = info
+            module.classes[node.name] = qual
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    method_qual = f"{qual}.{item.name}"
+                    self.functions[method_qual] = FunctionInfo(
+                        qualname=method_qual, module=module.name,
+                        path=module.path, node=item, class_name=node.name,
+                    )
+                    module.functions[f"{node.name}.{item.name}"] = method_qual
+                    info.methods[item.name] = method_qual
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    module.module_globals[target.id] = node.value
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                module.module_globals[node.target.id] = node.value
+
+    # ------------------------------------------------------------------
+    # Call graph
+    # ------------------------------------------------------------------
+
+    def resolver(self, module_name: str) -> Resolver:
+        return Resolver(self, self.modules[module_name])
+
+    def _link_calls(self) -> None:
+        for qual in self.functions:
+            self.edges[qual] = set()
+            self.call_sites[qual] = []
+        for qual, info in self.functions.items():
+            resolver = self.resolver(info.module)
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = resolver.resolve_call(node, info.class_name)
+                if callee is not None and callee in self.classes:
+                    # Instantiation: route the edge to __init__ when the
+                    # class defines one, keeping the class name visible.
+                    init = self.classes[callee].methods.get("__init__")
+                    if init is not None:
+                        self.edges[qual].add(init)
+                self.call_sites[qual].append(CallSite(qual, callee, node))
+                if callee is not None and callee in self.functions:
+                    self.edges[qual].add(callee)
+
+    def transitive_callees(self, root: str) -> Set[str]:
+        """Every function reachable from ``root`` through resolved calls."""
+        seen: Set[str] = set()
+        todo = [root]
+        while todo:
+            current = todo.pop()
+            for callee in self.edges.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    todo.append(callee)
+        return seen
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Union of roots and their transitive callees."""
+        out: Set[str] = set()
+        for root in roots:
+            if root in self.functions:
+                out.add(root)
+                out |= self.transitive_callees(root)
+        return out
+
+    def format_graph(self) -> str:
+        """Debug dump: one ``caller -> callee`` line per resolved edge."""
+        lines = []
+        for caller in sorted(self.edges):
+            for callee in sorted(self.edges[caller]):
+                lines.append(f"{caller} -> {callee}")
+        header = (
+            f"# call graph: {len(self.functions)} functions, "
+            f"{sum(len(v) for v in self.edges.values())} resolved edges, "
+            f"{len(self.modules)} modules"
+        )
+        return "\n".join([header] + lines)
+
+
+def _dataclass_kwargs(node: ast.ClassDef) -> Dict[str, bool]:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        if _terminal_name(decorator.func) != "dataclass":
+            continue
+        out: Dict[str, bool] = {}
+        for keyword in decorator.keywords:
+            if keyword.arg is not None and isinstance(
+                keyword.value, ast.Constant
+            ) and isinstance(keyword.value.value, bool):
+                out[keyword.arg] = keyword.value.value
+        return out
+    return {}

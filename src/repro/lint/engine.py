@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.lint.rules import check_source
+from repro.lint.sources import iter_python_sources
 
 _SUPPRESS_RE = re.compile(
     r"#\s*simlint:\s*disable(?P<scope>-file)?\s*=\s*"
@@ -98,20 +99,13 @@ def lint_file(path: "str | os.PathLike[str]") -> List[Finding]:
 def iter_python_files(
     paths: Sequence["str | os.PathLike[str]"],
 ) -> Iterable[Path]:
-    """Expand files/directories into a sorted, de-duplicated file list."""
-    seen: Set[Path] = set()
-    out: List[Path] = []
-    for entry in paths:
-        root = Path(entry)
-        if root.is_dir():
-            candidates = sorted(root.rglob("*.py"))
-        else:
-            candidates = [root]
-        for candidate in candidates:
-            if candidate not in seen:
-                seen.add(candidate)
-                out.append(candidate)
-    return out
+    """Expand files/directories into a sorted, de-duplicated file list.
+
+    Delegates to the canonical walker in :mod:`repro.lint.sources` so
+    the lint pass and the result cache's code-version salt agree on
+    what a python source is (``__pycache__`` and friends excluded).
+    """
+    return iter_python_sources(paths)
 
 
 def lint_paths(paths: Sequence["str | os.PathLike[str]"]) -> List[Finding]:
@@ -122,11 +116,119 @@ def lint_paths(paths: Sequence["str | os.PathLike[str]"]) -> List[Finding]:
     return findings
 
 
+def lint_tree(
+    paths: Sequence["str | os.PathLike[str]"],
+) -> Tuple[List[Finding], List[Tuple[str, float]]]:
+    """Full analysis: per-module rules plus the whole-program pass.
+
+    Returns ``(findings, timings)`` where ``timings`` is a list of
+    ``(label, seconds)`` pairs — one entry for the per-module rules and
+    one per whole-program rule — so the CI job can assert the pass
+    stays fast.  Suppression comments apply uniformly: a whole-program
+    finding is silenced by the same ``# simlint: disable=SIM008`` on
+    its line (or ``disable-file=``) as a per-module one.
+    """
+    import time as _time  # host-side tooling; not simulation state
+
+    from repro.lint.callgraph import Project
+    from repro.lint.dataflow import analyze_project
+
+    started = _time.perf_counter()  # simlint: disable=SIM001
+    findings = lint_paths(paths)
+    timings: List[Tuple[str, float]] = [
+        ("per-module", _time.perf_counter() - started)  # simlint: disable=SIM001
+    ]
+
+    project = Project.build(paths)
+    raw, rule_timings = analyze_project(project)
+    timings.extend(rule_timings)
+
+    suppression_cache: Dict[str, Tuple[Set[str], Dict[int, Set[str]]]] = {}
+    for item in raw:
+        if item.path not in suppression_cache:
+            try:
+                source = Path(item.path).read_text(encoding="utf-8")
+            except OSError:
+                source = ""
+            suppression_cache[item.path] = parse_suppressions(source)
+        file_codes, line_codes = suppression_cache[item.path]
+        if item.code in file_codes or \
+                item.code in line_codes.get(item.line, ()):
+            continue
+        findings.append(Finding(item.path, item.line, item.col,
+                                item.code, item.message))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings, timings
+
+
 def format_findings(findings: Sequence[Finding]) -> str:
-    """Human-readable report: one line per finding plus a summary."""
+    """Human-readable report: one line per finding plus a summary.
+
+    The summary line leads with the total and appends per-rule hit
+    counts (``[SIM001×2 SIM008×1]``) so a long report still answers
+    "which contract is being violated" at a glance.
+    """
     if not findings:
         return "simlint: clean"
     lines = [finding.render() for finding in findings]
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    by_rule = " ".join(
+        f"{code}×{n}" for code, n in sorted(counts.items())
+    )
     noun = "finding" if len(findings) == 1 else "findings"
-    lines.append(f"simlint: {len(findings)} {noun}")
+    lines.append(f"simlint: {len(findings)} {noun} [{by_rule}]")
     return "\n".join(lines)
+
+
+def to_sarif(findings: Sequence[Finding]) -> Dict[str, object]:
+    """Findings as a SARIF 2.1.0 log (GitHub inline PR annotations)."""
+    from repro.lint.rules import RULES
+
+    used = sorted({finding.code for finding in findings})
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": RULES.get(code, code)},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code in used
+    ]
+    rule_index = {code: i for i, code in enumerate(used)}
+    results = [
+        {
+            "ruleId": finding.code,
+            "ruleIndex": rule_index[finding.code],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace(os.sep, "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/"
+                   "sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "informationUri":
+                        "https://example.invalid/simlint",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }

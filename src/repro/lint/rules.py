@@ -38,6 +38,22 @@ RULES: Dict[str, str] = {
     "SIM007": "per-event allocation on a sim/flash hot path: tuple "
               "packed into heappush, or lambda closure handed to a "
               "schedule call",
+    # SIM008–SIM012 are whole-program rules: they need the project-wide
+    # call graph and taint engine in repro.lint.{callgraph,dataflow}
+    # and fire only when linting a tree (repro lint), never from the
+    # single-file check_source path.
+    "SIM008": "nondeterminism source (wall clock, unseeded RNG, "
+              "os.environ, id/hash) flows through the call graph into "
+              "a Result/Stats/Spec field, event timestamp, or cache key",
+    "SIM009": "sweep cell (or a transitive callee) reads module-level "
+              "mutable state; parallel workers diverge from serial runs",
+    "SIM010": "iteration over an unordered set feeds event scheduling "
+              "or serialized output; order varies with PYTHONHASHSEED",
+    "SIM011": "frozen spec dataclass field invisible to exec/cache "
+              "canonicalization (init=False without compare=False, or "
+              "an unserializable annotation on a cache-carrier class)",
+    "SIM012": "lambda or nested function handed toward the process "
+              "pool; workers resolve functions by module.qualname",
 }
 
 #: ``time`` module functions that read the host clock.

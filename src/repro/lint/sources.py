@@ -1,0 +1,83 @@
+"""The canonical "python sources" walker.
+
+Two subsystems walk the source tree and must agree on what counts as a
+python source file: the lint engine (which files get analyzed) and the
+result cache's code-version salt (which files invalidate cached sweep
+results when edited).  If they disagree — one picks up a stray ``.py``
+inside ``__pycache__`` or an editor backup directory and the other does
+not — the cache can hold results for a tree the analysis never saw, or
+vice versa.  Both therefore route through this module.
+
+The contract: a python source is a ``*.py`` file none of whose path
+components is a cache/VCS artifact directory (``__pycache__``,
+``.git``, egg-info) or hidden (dot-prefixed) directory.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set
+
+#: Directory names whose contents are never python *sources* — bytecode
+#: caches, VCS metadata, packaging artifacts.
+EXCLUDED_DIR_NAMES = frozenset({"__pycache__", ".git", ".hg", ".svn"})
+
+
+def _component_excluded(name: str) -> bool:
+    return (
+        name in EXCLUDED_DIR_NAMES
+        or name.endswith(".egg-info")
+        or (name.startswith(".") and name not in (".", ".."))
+    )
+
+
+def is_python_source(path: "str | os.PathLike[str]") -> bool:
+    """Whether ``path`` names a python source file (by path shape alone)."""
+    target = Path(path)
+    if target.suffix != ".py":
+        return False
+    return not any(_component_excluded(part) for part in target.parts[:-1])
+
+
+def walk_python_sources(root: "str | os.PathLike[str]") -> List[Path]:
+    """All python sources under directory ``root``, sorted by path.
+
+    Exclusion applies only to components *below* ``root``: callers may
+    legitimately anchor a walk inside a hidden directory (a checkout
+    under ``.cache``, say) without the root's own name vetoing it.
+    """
+    base = Path(root)
+    out = [
+        path
+        for path in sorted(base.rglob("*.py"))
+        if not any(
+            _component_excluded(part)
+            for part in path.relative_to(base).parts[:-1]
+        )
+    ]
+    return out
+
+
+def iter_python_sources(
+    paths: Sequence["str | os.PathLike[str]"],
+) -> Iterable[Path]:
+    """Expand files/directories into a de-duplicated python-source list.
+
+    Directories are walked with :func:`walk_python_sources`; explicit
+    file arguments are kept as given (linting a file the user named is
+    never second-guessed), preserving first-seen order across entries.
+    """
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            candidates = walk_python_sources(root)
+        else:
+            candidates = [root]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                out.append(candidate)
+    return out

@@ -79,6 +79,26 @@ ProcessGenerator = Generator["Event", Any, Any]
 #: Entry in the calendar's future-event buckets.
 _QueueEntry = Tuple[float, int, "Event"]
 
+#: Event-pop observer installed by the nondeterminism sanitizer
+#: (:mod:`repro.lint.sanitizer`): called as ``observer(now, event)`` for
+#: every event :meth:`Environment._step` dequeues, in fire order.  None
+#: in normal runs — the per-event cost is one global load and a None
+#: check, which keeps the hot path allocation-free.
+_pop_observer: Optional[Callable[[float, "Event"], None]] = None
+
+
+def set_pop_observer(
+    observer: Optional[Callable[[float, "Event"], None]],
+) -> None:
+    """Install (or clear, with ``None``) the event-pop observer.
+
+    Observers see every pop across *all* environments in the process;
+    the sanitizer relies on that to fingerprint a whole figure run
+    without threading a handle through model code.
+    """
+    global _pop_observer
+    _pop_observer = observer
+
 
 class Event:
     """A one-shot occurrence that processes can wait on.
@@ -451,6 +471,8 @@ class Environment:
         else:
             fire_at, _, event = heappop(near)
             self._now = fire_at
+        if _pop_observer is not None:
+            _pop_observer(self._now, event)
         callbacks, event.callbacks = event.callbacks, []
         event._processed = True
         self._processed_events += 1

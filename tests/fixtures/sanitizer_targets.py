@@ -1,0 +1,58 @@
+"""Sanitizer test targets: a planted set-order bug and its clean twin.
+
+``buggy_model`` assigns each process a delay by *enumeration order of a
+set of string names*.  Set iteration order for strings follows the
+sipHash of each key, which ``PYTHONHASHSEED`` perturbs, so two
+interpreters launched with different seeds map names to different
+delays and pop process-completion events in different orders — exactly
+the class of bug ``repro sanitize`` exists to localize.  The first
+divergent event is a :class:`~repro.sim.engine.Process` completion
+carrying one of the planted names.
+
+``clean_model`` is byte-for-byte the same workload with the single
+correct change: ``sorted(...)`` pins the enumeration order.
+
+Both are loaded by path (``tests/fixtures/sanitizer_targets.py:fn``),
+so they must stay importable with only ``src`` on ``PYTHONPATH``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.sim.engine import Environment
+
+#: Planted process names; enough strings that distinct hash seeds are
+#: overwhelmingly likely to produce distinct set orders.
+NAMES = (
+    "alder", "birch", "cedar", "dogwood", "elm", "fir", "ginkgo",
+    "hazel", "juniper", "katsura", "larch", "maple",
+)
+
+
+def _spin(env: Environment, delay: float):
+    yield env.timeout(delay)
+
+
+def _run(ordered) -> List[Tuple[float, str]]:
+    env = Environment()
+    finished: List[Tuple[float, str]] = []
+    for index, name in enumerate(ordered):
+
+        def watch(event, name=name):
+            finished.append((env.now, name))
+
+        proc = env.process(_spin(env, 1.0 + index), name=name)
+        proc.callbacks.append(watch)
+    env.run()
+    return finished
+
+
+def buggy_model() -> List[Tuple[float, str]]:
+    """Delays assigned by set-enumeration order: hash-seed dependent."""
+    return _run(set(NAMES))  # simlint: disable=SIM010
+
+
+def clean_model() -> List[Tuple[float, str]]:
+    """The fix: sorted() pins the order regardless of hash seed."""
+    return _run(sorted(set(NAMES)))

@@ -1,0 +1,183 @@
+"""Call-graph construction: symbols, resolution, edges, reachability."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint.callgraph import Project, module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def build_project(tmp_path, files):
+    """Write ``files`` into a package ``pkg`` and parse it as a Project."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for name, source in files.items():
+        (pkg / name).write_text(textwrap.dedent(source))
+    return Project.build([tmp_path])
+
+
+def test_module_name_follows_package_structure(tmp_path):
+    pkg = tmp_path / "outer" / "inner"
+    pkg.mkdir(parents=True)
+    (tmp_path / "outer" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text("")
+    assert module_name_for(pkg / "mod.py") == "outer.inner.mod"
+    assert module_name_for(pkg / "__init__.py") == "outer.inner"
+    # The shipped tree resolves the same way from any walk anchor.
+    assert module_name_for(
+        REPO_ROOT / "src" / "repro" / "exec" / "cache.py"
+    ) == "repro.exec.cache"
+
+
+def test_symbols_functions_methods_classes(tmp_path):
+    project = build_project(tmp_path, {
+        "a.py": """
+            def top():
+                return 1
+
+            class Device:
+                def start(self):
+                    return self.step()
+
+                def step(self):
+                    return 2
+        """,
+    })
+    assert "pkg.a.top" in project.functions
+    assert "pkg.a.Device.start" in project.functions
+    assert project.functions["pkg.a.Device.start"].is_method
+    assert not project.functions["pkg.a.top"].is_method
+    device = project.classes["pkg.a.Device"]
+    assert device.methods == {
+        "start": "pkg.a.Device.start", "step": "pkg.a.Device.step",
+    }
+
+
+def test_edges_resolve_imports_aliases_and_self_calls(tmp_path):
+    project = build_project(tmp_path, {
+        "util.py": """
+            def helper():
+                return 1
+        """,
+        "main.py": """
+            from pkg.util import helper
+            from pkg import util as u
+
+            def direct():
+                return helper()
+
+            def through_alias():
+                return u.helper()
+
+            class Runner:
+                def go(self):
+                    return self.inner()
+
+                def inner(self):
+                    return direct()
+        """,
+    })
+    edges = project.edges
+    assert "pkg.util.helper" in edges["pkg.main.direct"]
+    assert "pkg.util.helper" in edges["pkg.main.through_alias"]
+    assert "pkg.main.Runner.inner" in edges["pkg.main.Runner.go"]
+    assert "pkg.main.direct" in edges["pkg.main.Runner.inner"]
+
+
+def test_constructor_call_routes_to_init(tmp_path):
+    project = build_project(tmp_path, {
+        "a.py": """
+            class Widget:
+                def __init__(self):
+                    self.size = 1
+
+            def make():
+                return Widget()
+        """,
+    })
+    assert "pkg.a.Widget.__init__" in project.edges["pkg.a.make"]
+
+
+def test_transitive_callees_and_reachability(tmp_path):
+    project = build_project(tmp_path, {
+        "chain.py": """
+            def a():
+                return b()
+
+            def b():
+                return c()
+
+            def c():
+                return 1
+
+            def island():
+                return 2
+        """,
+    })
+    reached = project.transitive_callees("pkg.chain.a")
+    assert reached == {"pkg.chain.b", "pkg.chain.c"}
+    assert project.reachable_from(["pkg.chain.a"]) == {
+        "pkg.chain.a", "pkg.chain.b", "pkg.chain.c",
+    }
+    assert "pkg.chain.island" not in reached
+
+
+def test_relative_imports_resolve(tmp_path):
+    project = build_project(tmp_path, {
+        "base.py": """
+            def ground():
+                return 0
+        """,
+        "user.py": """
+            from .base import ground
+
+            def call():
+                return ground()
+        """,
+    })
+    assert "pkg.base.ground" in project.edges["pkg.user.call"]
+
+
+def test_unparsable_file_is_reported_not_fatal(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "ok.py").write_text("def fine():\n    return 1\n")
+    (pkg / "broken.py").write_text("def broken(:\n")
+    project = Project.build([tmp_path])
+    assert "pkg.ok.fine" in project.functions
+    assert len(project.unparsed) == 1
+    assert project.unparsed[0].endswith("broken.py")
+
+
+def test_format_graph_header_and_edges(tmp_path):
+    project = build_project(tmp_path, {
+        "a.py": """
+            def f():
+                return g()
+
+            def g():
+                return 1
+        """,
+    })
+    dump = project.format_graph()
+    header = dump.splitlines()[0]
+    assert header.startswith("# call graph:")
+    assert "pkg.a.f -> pkg.a.g" in dump
+
+
+def test_shipped_tree_builds_one_project():
+    project = Project.build([str(REPO_ROOT / "src" / "repro")])
+    assert project.unparsed == []
+    assert "repro.sim.engine.Environment.timeout" in project.functions
+    assert "repro.exec.cache.point_key" in project.functions
+    # The exec runner provably reaches the cache-key computation.
+    reached = project.transitive_callees(
+        "repro.exec.runner.SweepRunner.run"
+    )
+    assert "repro.exec.cache.point_key" in reached

@@ -7,6 +7,7 @@ the shipped ``src/repro`` tree lints clean through the real CLI.
 
 from __future__ import annotations
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -294,6 +295,8 @@ def test_rule_catalog_covers_all_emitted_codes():
     assert set(RULES) == {
         "SIM000", "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
         "SIM007",
+        # Whole-program rules (repro.lint.dataflow).
+        "SIM008", "SIM009", "SIM010", "SIM011", "SIM012",
     }
 
 
@@ -304,6 +307,8 @@ def test_format_findings_renders_path_line_and_summary(tmp_path):
     report = format_findings(findings)
     assert f"{bad}:2:11: SIM001" in report
     assert "simlint: 1 finding" in report
+    # The summary line carries per-rule hit counts.
+    assert "[SIM001×1]" in report
     assert format_findings([]) == "simlint: clean"
 
 
@@ -349,6 +354,88 @@ def test_list_rules_flag():
     assert result.returncode == 0
     for code in RULES:
         assert code in result.stdout
+
+
+def test_explain_prints_rationale_and_examples():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--explain", "SIM009"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0
+    assert "SIM009" in result.stdout
+    assert "Rationale:" in result.stdout
+    assert "Bad::" in result.stdout
+    assert "Good::" in result.stdout
+    unknown = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--explain", "SIM999"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert unknown.returncode == 2
+
+
+def test_sarif_output_is_valid_and_locates_findings(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nstarted = time.time()\n")
+    sarif_path = tmp_path / "findings.sarif"
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(bad),
+         "--sarif", str(sarif_path)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 1  # findings still set the exit code
+    document = json.loads(sarif_path.read_text())
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    (finding,) = run["results"]
+    assert finding["ruleId"] == "SIM001"
+    region = finding["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 2
+    rules = run["tool"]["driver"]["rules"]
+    assert [rule["id"] for rule in rules] == ["SIM001"]
+
+
+def test_timings_flag_reports_per_rule_wall_times(tmp_path):
+    clean = tmp_path / "ok.py"
+    clean.write_text("VALUE = 1\n")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(tmp_path), "--timings"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0
+    for label in ("per-module", "SIM008", "SIM012", "total"):
+        assert f"simlint-timing: {label} " in result.stdout
+
+
+def test_pycache_artifacts_are_invisible_to_walker_and_salt(tmp_path):
+    """Hygiene: a stray .py under __pycache__ is neither linted nor salted."""
+    from repro.lint.sources import is_python_source, walk_python_sources
+
+    good = tmp_path / "mod.py"
+    good.write_text("VALUE = 1\n")
+    cache_dir = tmp_path / "__pycache__"
+    cache_dir.mkdir()
+    stray = cache_dir / "stray.py"
+    stray.write_text("import time\nx = time.time()\n")
+    hidden = tmp_path / ".build" / "gen.py"
+    hidden.parent.mkdir()
+    hidden.write_text("VALUE = 2\n")
+    assert walk_python_sources(tmp_path) == [good]
+    assert not is_python_source(stray)
+    assert is_python_source(good)
+    assert lint_paths([tmp_path]) == []
 
 
 def test_mypy_strict_on_substrate_if_available():

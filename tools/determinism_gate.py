@@ -2,18 +2,23 @@
 """CI determinism gate: the same seeded workload must replay identically.
 
 Runs a small fig6-style traced workload (both personalities, foreground
-GC active, span tracing on) twice from scratch and compares the full
+GC active, span tracing on) twice from scratch under the sanitizer's
+instrumentation (:mod:`repro.lint.sanitizer`) and compares the full
 observable outcome byte-for-byte:
 
-* the per-personality :class:`~repro.ftl.core.DeviceStats` delta,
-* run results (completed/failed ops, simulated start/finish times),
-* latency percentiles,
-* span counts per (process, category) track plus the drop counter.
+* the event-pop digest — every dequeued event's (fire time, type,
+  process name), in fire order;
+* the outcome fingerprint — per-personality run results and
+  :class:`~repro.ftl.core.DeviceStats` deltas, latency percentiles,
+  span counts per (process, category) track plus the drop counter.
 
 Any divergence means nondeterminism crept into the simulator — a wall
 clock, an unseeded RNG, or iteration over an unordered container — which
-invalidates every paper-comparison number. Exits non-zero with a unified
-diff of the two serialized outcomes.
+invalidates every paper-comparison number.  On failure the sanitizer's
+localization names the FIRST divergent event (index, timestamp, type,
+process name), and the unified fingerprint diff follows for context.
+``repro sanitize`` layers PYTHONHASHSEED variation on top of this same
+machinery; the gate stays single-interpreter so it runs everywhere fast.
 
 Usage::
 
@@ -24,40 +29,9 @@ from __future__ import annotations
 
 import argparse
 import difflib
-import json
 import sys
-from dataclasses import asdict
-from typing import Dict
 
-from repro.trace.run import run_traced
-
-
-def outcome_fingerprint(fig: str, n_ops: int) -> str:
-    """One run's observable outcome as canonical (sorted, indented) JSON."""
-    report = run_traced(fig=fig, n_ops=n_ops)
-    document: Dict[str, object] = {"fig": fig, "n_ops": n_ops}
-
-    runs = {}
-    for personality, run in sorted(report.runs.items()):
-        runs[personality] = {
-            "completed_ops": run.completed_ops,
-            "failed_ops": run.failed_ops,
-            "started_us": run.started_us,
-            "finished_us": run.finished_us,
-            "device_stats": asdict(run.device_stats)
-            if run.device_stats is not None else None,
-            "latency": run.latency.summary().as_dict(),
-        }
-    document["runs"] = runs
-
-    span_counts: Dict[str, int] = {}
-    for record in report.collector.records():
-        key = f"pid{record.pid}/{record.cat}"
-        span_counts[key] = span_counts.get(key, 0) + 1
-    document["span_counts"] = span_counts
-    document["spans_total"] = len(report.collector.records())
-    document["spans_dropped"] = report.collector.dropped
-    return json.dumps(document, sort_keys=True, indent=1)
+from repro.lint.sanitizer import collect, localize
 
 
 def main(argv=None) -> int:
@@ -68,17 +42,23 @@ def main(argv=None) -> int:
                         help="measured ops per personality (default: 400)")
     args = parser.parse_args(argv)
 
-    first = outcome_fingerprint(args.fig, args.n_ops)
-    second = outcome_fingerprint(args.fig, args.n_ops)
-    if first == second:
-        lines = len(first.splitlines())
+    target = f"fig:{args.fig}"
+    first = collect(target, args.n_ops)
+    second = collect(target, args.n_ops)
+    divergence = localize(first, second)
+    if divergence is None:
+        lines = len(first.fingerprint.splitlines())
         print(f"determinism gate: OK — two {args.fig} runs of "
               f"{args.n_ops} ops produced identical outcomes "
-              f"({lines} fingerprint lines)")
+              f"({first.total_events} events, {lines} fingerprint lines)")
+        for trip in first.trips:
+            print(f"determinism gate: note — tripwire: {trip}")
         return 0
     print("determinism gate: FAIL — seeded replay diverged:")
+    print(f"  {divergence.render()}")
     diff = difflib.unified_diff(
-        first.splitlines(keepends=True), second.splitlines(keepends=True),
+        first.fingerprint.splitlines(keepends=True),
+        second.fingerprint.splitlines(keepends=True),
         fromfile="run1", tofile="run2",
     )
     sys.stdout.writelines(diff)
