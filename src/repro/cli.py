@@ -204,7 +204,7 @@ def _print_cluster(args: argparse.Namespace, runner: Optional[SweepRunner]) -> N
     # the cluster machinery.
     from repro.cluster import ClusterSpec, DegradeEvent, TenantSpec, run_cluster
 
-    if args.cluster_smoke:
+    if args.smoke:
         # CI-shaped smoke: 2 shards, R=2, one forced mid-run read-only
         # degradation.  Exits non-zero if any acknowledged write is lost.
         n_ops = args.cluster_ops
@@ -339,6 +339,87 @@ def _print_frontend(args: argparse.Namespace, runner: Optional[SweepRunner]) -> 
               f"<= {args.slo_gate:g} at {base:g} kops")
 
 
+def _print_replay(args: argparse.Namespace, runner: Optional[SweepRunner]) -> None:
+    # Lazy import, like trace/faults/cluster/frontend: figure subcommands
+    # never pay for the replay machinery.
+    from repro.core.figures import replay_rotation, replay_ttl_scan_mix
+
+    if args.smoke:
+        # CI-shaped smoke: tiny cells, both figures, hard liveness gates —
+        # the replay path must actually rotate, expire, and scan.
+        rotation = replay_rotation(
+            rotate_every=(0, 64), n_ops=200, population=512,
+            working_set=64, blocks_per_plane=8, runner=runner,
+        )
+        mix = replay_ttl_scan_mix(
+            variants=("plain", "ttl+scan"), n_ops=200,
+            population=400, ttl_ops=120, blocks_per_plane=8, runner=runner,
+        )
+    else:
+        rotation = replay_rotation(runner=runner)
+        mix = replay_ttl_scan_mix(n_ops=args.replay_ops, runner=runner)
+
+    print("-- working-set rotation: KV vs block --")
+    rows = []
+    for device in rotation.latency_us:
+        for rotate in rotation.rotate_every:
+            cell = rotation.latency_us[device][rotate]
+            stats = rotation.stats_summary[device][rotate]
+            rows.append([
+                device, rotate or "static", round(cell["mean"], 1),
+                round(cell["p99"], 1), round(cell["p999"], 1),
+                round(stats["waf"], 2),
+                rotation.completed_ops[device][rotate],
+            ])
+    print(format_table(
+        ["device", "rotate every", "mean us", "p99 us", "p999 us",
+         "WAF", "ops"],
+        rows,
+    ))
+    for device in rotation.latency_us:
+        print(f"{device} rotation p99 penalty: "
+              f"{rotation.rotation_penalty(device):.2f}x")
+
+    print("\n-- TTL + scan mix: read-tail cost --")
+    rows = []
+    for variant in mix.variants:
+        latency = mix.latency_us[variant]
+        ops = mix.ops[variant]
+        buckets = mix.buckets[variant]
+        rows.append([
+            variant, round(latency["read_p99"], 1),
+            round(latency["read_p999"], 1), ops["completed"],
+            ops["failed"], ops["deletes"], ops["scans"],
+            buckets["keys"], buckets["page_writes"],
+        ])
+    print(format_table(
+        ["variant", "read p99", "read p999", "ops", "fail", "deletes",
+         "scans", "bucket keys", "bucket pages"],
+        rows,
+    ))
+    scan_variant = next(
+        (v for v in mix.variants if "scan" in v), None
+    )
+    if scan_variant is not None:
+        print(f"read-tail inflation ({scan_variant} vs plain): "
+              f"{mix.tail_inflation(scan_variant):.2f}x")
+
+    if args.smoke:
+        churned = [r for r in rotation.rotate_every if r > 0]
+        if not churned or any(
+            rotation.completed_ops[d][r] == 0
+            for d in rotation.latency_us for r in rotation.rotate_every
+        ):
+            raise SystemExit("replay smoke: rotation cells ran no operations")
+        scan_cells = [v for v in mix.variants if "scan" in v]
+        if not scan_cells or any(mix.ops[v]["scans"] == 0 for v in scan_cells):
+            raise SystemExit("replay smoke: scan variants ran no scans")
+        ttl_cells = [v for v in mix.variants if v.startswith("ttl")]
+        if any(mix.ops[v]["deletes"] == 0 for v in ttl_cells):
+            raise SystemExit("replay smoke: TTL variants expired no keys")
+        print("replay smoke ok: rotation, expiry deletes, and scans all live")
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace, Optional[SweepRunner]], None]] = {
     "fig2": _print_fig2,
     "fig3": _print_fig3,
@@ -363,8 +444,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(_COMMANDS) + ["all", "fig", "trace", "faults",
-                                     "cluster", "frontend", "lint",
-                                     "sanitize"],
+                                     "cluster", "frontend", "replay",
+                                     "lint", "sanitize"],
         help=(
             "which figure (or 'headline'/'all') to regenerate — 'fig' "
             "with a figure name as the next argument also works "
@@ -374,6 +455,8 @@ def build_parser() -> argparse.ArgumentParser:
             "to run the sharded multi-device cluster figures "
             "(--smoke for the CI degradation check), 'frontend' to "
             "sweep the open-loop serving frontend over offered load, "
+            "'replay' to run the trace-replay figures (working-set "
+            "rotation and the TTL+scan mix; --smoke for the CI check), "
             "'lint' to run the simlint static-analysis pass "
             "(extra args go to repro.lint), or 'sanitize' to replay a "
             "figure under the runtime nondeterminism sanitizer "
@@ -442,9 +525,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster: operations per tenant stream (default: 300)",
     )
     parser.add_argument(
-        "--smoke", dest="cluster_smoke", action="store_true",
+        "--smoke", action="store_true",
         help="cluster: run only the 2-shard R=2 forced-degradation "
-             "smoke check (exits non-zero on any lost write)",
+             "smoke check (exits non-zero on any lost write); "
+             "replay: tiny cells with liveness gates on rotation, "
+             "expiry deletes, and scans",
+    )
+    parser.add_argument(
+        "--replay-ops", type=int, default=1500, metavar="N",
+        help="replay: base-mix operations per variant (default: 1500)",
     )
     parser.add_argument(
         "--loads", default="16,32,64,128,256,512", metavar="K,K,...",
@@ -500,13 +589,15 @@ def main(argv: List[str] | None = None) -> int:
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
     )
-    if experiment in ("trace", "faults", "cluster", "frontend"):
+    if experiment in ("trace", "faults", "cluster", "frontend", "replay"):
         # Excluded from 'all': these are diagnostic/extension passes (a
         # trace file, a reliability sweep, the multi-device cluster, the
-        # serving-frontend load sweep), not paper-figure regenerations.
+        # serving-frontend load sweep, the trace-replay figures), not
+        # paper-figure regenerations.
         names = [experiment]
         commands = {"trace": _print_trace, "faults": _print_faults,
-                    "cluster": _print_cluster, "frontend": _print_frontend}
+                    "cluster": _print_cluster, "frontend": _print_frontend,
+                    "replay": _print_replay}
     elif experiment == "all":
         names = sorted(_COMMANDS)
         commands = _COMMANDS

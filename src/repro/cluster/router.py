@@ -352,8 +352,40 @@ class _Router:
                         self.drain_ops += 1
 
 
+def _churn_stream(tenant: TenantSpec) -> Iterator[YCSBOperation]:
+    """Working-set-rotation stream replayed as tenant operations.
+
+    The churn generator emits trace records; the router only consumes
+    (op kind, key index, value bytes) — keys are re-derived per
+    partition — so the records replay through a
+    :class:`~repro.kvbench.traces.TraceWorkload` keyed by the churn
+    spec's own scheme to recover exact indices.
+    """
+    from repro.kvbench.generators import ChurnSpec, generate_churn
+    from repro.kvbench.traces import TraceWorkload
+
+    churn = ChurnSpec(
+        n_ops=tenant.n_ops,
+        population=tenant.population,
+        working_set=tenant.churn_window,
+        rotate_every_ops=tenant.churn_rotate_every_ops,
+        value_bytes=tenant.value_bytes,
+        seed=tenant.seed,
+    )
+    workload = TraceWorkload(
+        tuple(generate_churn(churn)), key_scheme=churn.key_scheme
+    )
+    for op in workload.operations():
+        if isinstance(op, YCSBOperation):
+            yield op
+        else:
+            yield YCSBOperation(base=op)
+
+
 def _tenant_stream(tenant: TenantSpec) -> Iterator[YCSBOperation]:
-    """The tenant's YCSB stream (keys are re-derived from indices)."""
+    """The tenant's operation stream (keys are re-derived from indices)."""
+    if tenant.workload == "churn":
+        return _churn_stream(tenant)
     ycsb = YCSBSpec(
         workload=tenant.workload,
         n_ops=tenant.n_ops,

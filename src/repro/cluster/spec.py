@@ -46,7 +46,8 @@ class TenantSpec:
     #: padded) become the key-prefix tag, so every key of this tenant is
     #: recognizable — and quota-countable — by prefix alone.
     name: str
-    #: YCSB core workload letter (A-F).
+    #: YCSB core workload letter (A-F), or ``"churn"`` for the
+    #: working-set-rotation stream (:mod:`repro.kvbench.generators`).
     workload: str
     #: Operations this tenant contributes to the cluster stream.
     n_ops: int
@@ -59,6 +60,10 @@ class TenantSpec:
     value_bytes: int = 1000
     zipf_theta: float = 0.99
     scan_length: int = 10
+    #: churn: keys in the rotating hot window (0 = population // 8).
+    churn_working_set: int = 0
+    #: churn: ops between wholesale window rotations (0 = static window).
+    churn_rotate_every_ops: int = 0
     seed: int = 1
 
     def __post_init__(self) -> None:
@@ -72,10 +77,12 @@ class TenantSpec:
             raise ConfigurationError(
                 f"tenant name must start alphanumeric, got {self.name!r}"
             )
-        if self.workload not in "ABCDEF" or len(self.workload) != 1:
+        if self.workload != "churn" and (
+            self.workload not in "ABCDEF" or len(self.workload) != 1
+        ):
             raise ConfigurationError(
-                f"tenant {self.name!r}: workload must be one of A-F, "
-                f"got {self.workload!r}"
+                f"tenant {self.name!r}: workload must be one of A-F "
+                f"or 'churn', got {self.workload!r}"
             )
         if self.n_ops < 1 or self.population < 1:
             raise ConfigurationError(
@@ -98,6 +105,30 @@ class TenantSpec:
             raise ConfigurationError(
                 f"tenant {self.name!r}: scan_length must be >= 1"
             )
+        if self.churn_working_set < 0 or self.churn_rotate_every_ops < 0:
+            raise ConfigurationError(
+                f"tenant {self.name!r}: churn knobs must be >= 0"
+            )
+        if self.churn_working_set > self.population:
+            raise ConfigurationError(
+                f"tenant {self.name!r}: churn_working_set "
+                f"{self.churn_working_set} exceeds the population "
+                f"{self.population}"
+            )
+        if self.workload != "churn" and (
+            self.churn_working_set or self.churn_rotate_every_ops
+        ):
+            raise ConfigurationError(
+                f"tenant {self.name!r}: churn knobs only apply to the "
+                f"'churn' workload, not {self.workload!r}"
+            )
+
+    @property
+    def churn_window(self) -> int:
+        """Effective churn hot-window size in keys."""
+        if self.churn_working_set:
+            return self.churn_working_set
+        return max(1, self.population // 8)
 
     @property
     def tag(self) -> bytes:

@@ -35,12 +35,22 @@ from repro.core.model import device_stats_summary
 from repro.errors import ConfigurationError
 from repro.exec.runner import SweepRunner, execute_spec
 from repro.exec.spec import SweepPoint, SweepSpec
+from repro.kvbench.generators import (
+    ChurnSpec,
+    ExpirySpec,
+    ScanMixSpec,
+    generate_churn,
+    generate_expiry,
+    generate_scan_mix,
+)
 from repro.kvbench.runner import execute_workload
+from repro.kvbench.traces import TraceWorkload, merge_traces
 from repro.kvbench.workload import (
     Pattern,
     WorkloadSpec,
     generate_operations,
 )
+from repro.kvbench.ycsb import YCSBDriver, YCSBSpec
 from repro.kvftl.blob import space_amplification
 from repro.kvftl.config import KVSSDConfig
 from repro.kvftl.population import KeyScheme
@@ -1238,4 +1248,406 @@ def cluster_replication_cost(
         result.flash_programs[factor] = stats.flash_programs
         result.read_p99[factor] = cluster.tail("pre")[0]
         result.stats_summary[factor] = device_stats_summary(stats)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Replay figures — trace-driven, time-varying workloads (ISSUE 10)
+#
+# The paper's figures all drive stationary synthetic distributions; these
+# two replay *time-varying* trace streams (``repro.kvbench.traces``) and
+# ask questions the paper never measured.  Rotation: does the KV-FTL's
+# location-agnostic hash index still beat the block stack when the whole
+# hot set is replaced mid-run?  Mix: what do TTL-driven deletes and
+# prefix scans — the iterator buckets' first real exercise — do to the
+# read tail?  Cells run through the sweep engine, so both figures are
+# cached, parallel-safe, and fingerprint-pinned like every other.
+# ---------------------------------------------------------------------------
+
+
+_REPLAY_SCHEME_PREFIX = b"fill"
+#: Key scheme shared by the replay prefills and churn/scan streams.
+_REPLAY_TTL_PREFIX = b"ttl-"
+
+
+def _replay_churn_records(
+    rotate_every: int,
+    n_ops: int,
+    population: int,
+    working_set: int,
+    value_bytes: int,
+    seed: int,
+    scheme: KeyScheme,
+):
+    spec = ChurnSpec(
+        n_ops=n_ops,
+        population=population,
+        working_set=working_set,
+        rotate_every_ops=rotate_every,
+        value_bytes=value_bytes,
+        key_scheme=scheme,
+        seed=seed,
+    )
+    return tuple(generate_churn(spec))
+
+
+def _replay_rotation_kv_cell(
+    rotate_every: int,
+    n_ops: int,
+    population: int,
+    working_set: int,
+    value_bytes: int,
+    queue_depth: int,
+    blocks_per_plane: int,
+    seed: int,
+) -> Dict[str, object]:
+    """KV device under one churn schedule: prefill, then replay."""
+    rig = build_kv_rig(
+        lab_geometry(blocks_per_plane),
+        config=KVSSDConfig(index_dram_bytes=64 * MIB),
+    )
+    scheme = KeyScheme(prefix=_REPLAY_SCHEME_PREFIX, digits=12)
+    rig.device.fast_fill(population, value_bytes, scheme)
+    records = _replay_churn_records(
+        rotate_every, n_ops, population, working_set, value_bytes, seed, scheme
+    )
+    workload = TraceWorkload(records, key_scheme=scheme)
+    run = execute_workload(
+        rig.env,
+        rig.adapter,
+        workload.operations(),
+        queue_depth=queue_depth,
+        name=f"replay.rot.kv.{rotate_every}",
+    )
+    _drain(rig)
+    summary = run.latency.summary()
+    return {
+        "mean": summary.mean,
+        "p99": summary.p99,
+        "p999": summary.p999,
+        "completed": run.completed_ops,
+        "failed": run.failed_ops,
+        "stats": device_stats_summary(run.device_stats),
+    }
+
+
+def _replay_rotation_block_cell(
+    rotate_every: int,
+    n_ops: int,
+    population: int,
+    working_set: int,
+    value_bytes: int,
+    queue_depth: int,
+    blocks_per_plane: int,
+    seed: int,
+) -> Dict[str, object]:
+    """Block device under the *same* churn records (same keys, same order)."""
+    rig = build_block_rig(lab_geometry(blocks_per_plane))
+    adapter = rig.adapter(value_bytes)
+    fill_units = max(1, population * adapter.io_bytes // rig.device.map_unit)
+    rig.device.prime_sequential_fill(min(fill_units, rig.device.n_units))
+    scheme = KeyScheme(prefix=_REPLAY_SCHEME_PREFIX, digits=12)
+    records = _replay_churn_records(
+        rotate_every, n_ops, population, working_set, value_bytes, seed, scheme
+    )
+    workload = TraceWorkload(records, key_scheme=scheme)
+    run = execute_workload(
+        rig.env,
+        adapter,
+        workload.operations(),
+        queue_depth=queue_depth,
+        name=f"replay.rot.blk.{rotate_every}",
+    )
+    _drain(rig)
+    summary = run.latency.summary()
+    return {
+        "mean": summary.mean,
+        "p99": summary.p99,
+        "p999": summary.p999,
+        "completed": run.completed_ops,
+        "failed": run.failed_ops,
+        "stats": device_stats_summary(run.device_stats),
+    }
+
+
+@dataclass
+class ReplayRotationResult:
+    """KV vs block latency/amplification under working-set rotation."""
+
+    n_ops: int
+    population: int
+    working_set: int
+    rotate_every: List[int]
+    #: latency_us[device][rotate_every] -> {mean, p99, p999}.
+    latency_us: Dict[str, Dict[int, Dict[str, float]]] = field(
+        default_factory=dict
+    )
+    #: Device telemetry summary per (device, rotate_every) — WAF etc.
+    stats_summary: Dict[str, Dict[int, Dict[str, float]]] = field(
+        default_factory=dict
+    )
+    completed_ops: Dict[str, Dict[int, int]] = field(default_factory=dict)
+
+    def rotation_penalty(self, device: str, quantile: str = "p99") -> float:
+        """Fastest-churn tail over the static (rotate=0) tail."""
+        static = self.latency_us[device].get(0)
+        if not static or static[quantile] <= 0:
+            return 0.0
+        churned = self.latency_us[device][min(
+            r for r in self.rotate_every if r > 0
+        )]
+        return churned[quantile] / static[quantile]
+
+
+_REPLAY_ROTATION_CELLS = {
+    "kv": _replay_rotation_kv_cell,
+    "block": _replay_rotation_block_cell,
+}
+
+
+def replay_rotation(
+    rotate_every: Sequence[int] = (0, 500, 100),
+    n_ops: int = 2000,
+    population: int = 4096,
+    working_set: int = 256,
+    value_bytes: int = 4 * KIB,
+    queue_depth: int = 8,
+    devices: Sequence[str] = ("kv", "block"),
+    blocks_per_plane: int = 16,
+    seed: int = 17,
+    runner: Optional[SweepRunner] = None,
+) -> ReplayRotationResult:
+    """Replay figure 1: churn replay, KV vs block.
+
+    Both devices replay byte-identical churn traces: uniform read/update
+    traffic over a ``working_set``-key window that jumps wholesale every
+    ``rotate_every`` ops (0 = pinned window, the stationary control).
+    The block stack's placement rewards stable locality; the KV-FTL's
+    hash index never looked at locality in the first place — rotation is
+    where that difference should surface, or be shown not to matter.
+    """
+    for device in devices:
+        if device not in _REPLAY_ROTATION_CELLS:
+            raise ConfigurationError(f"unknown replay device {device!r}")
+    points = tuple(
+        SweepPoint(
+            label=f"{device}/rot{rotate}",
+            fn=_REPLAY_ROTATION_CELLS[device],
+            kwargs=dict(
+                rotate_every=rotate,
+                n_ops=n_ops,
+                population=population,
+                working_set=working_set,
+                value_bytes=value_bytes,
+                queue_depth=queue_depth,
+                blocks_per_plane=blocks_per_plane,
+                seed=seed,
+            ),
+        )
+        for device in devices
+        for rotate in rotate_every
+    )
+    cells = execute_spec(SweepSpec("replay_rotation", points), runner)
+    result = ReplayRotationResult(
+        n_ops, population, working_set, list(rotate_every)
+    )
+    index = 0
+    for device in devices:
+        result.latency_us[device] = {}
+        result.stats_summary[device] = {}
+        result.completed_ops[device] = {}
+        for rotate in rotate_every:
+            cell = cells[index]
+            index += 1
+            result.latency_us[device][rotate] = {
+                "mean": cell["mean"],
+                "p99": cell["p99"],
+                "p999": cell["p999"],
+            }
+            result.stats_summary[device][rotate] = cell["stats"]
+            result.completed_ops[device][rotate] = cell["completed"]
+    return result
+
+
+def _replay_mix_cell(
+    variant: str,
+    n_ops: int,
+    population: int,
+    ttl_ops: int,
+    ttl_us: float,
+    scan_fraction: float,
+    scan_length: int,
+    value_bytes: int,
+    queue_depth: int,
+    blocks_per_plane: int,
+    seed: int,
+) -> Dict[str, object]:
+    """One mix variant on a fresh KV rig: plain / ttl / ttl+scan.
+
+    The base stream is a point read/update mix over a prefilled
+    population; the ``ttl`` variants merge in an expiry stream (its own
+    key prefix, inserts re-arming TTLs, deletes materialized at expiry);
+    ``ttl+scan`` additionally turns ``scan_fraction`` of the base ops
+    into prefix scans through the YCSB driver's emulated-scan path — the
+    iterator buckets' first sustained exercise.
+    """
+    rig = build_kv_rig(
+        lab_geometry(blocks_per_plane),
+        config=KVSSDConfig(index_dram_bytes=64 * MIB),
+    )
+    scheme = KeyScheme(prefix=_REPLAY_SCHEME_PREFIX, digits=12)
+    rig.device.fast_fill(population, value_bytes, scheme)
+    base = ScanMixSpec(
+        n_ops=n_ops,
+        population=population,
+        scan_fraction=scan_fraction if variant == "ttl+scan" else 0.0,
+        scan_length=scan_length,
+        value_bytes=value_bytes,
+        key_scheme=scheme,
+        seed=seed,
+    )
+    streams = [generate_scan_mix(base)]
+    if variant in ("ttl", "ttl+scan"):
+        expiry = ExpirySpec(
+            n_ops=ttl_ops,
+            population=max(1, population // 4),
+            ttl_us=ttl_us,
+            value_bytes=value_bytes,
+            interarrival_us=(n_ops * 100.0) / ttl_ops,
+            key_scheme=KeyScheme(prefix=_REPLAY_TTL_PREFIX, digits=12),
+            seed=seed + 1,
+        )
+        streams.append(generate_expiry(expiry))
+    elif variant != "plain":
+        raise ConfigurationError(f"unknown replay mix variant {variant!r}")
+    records = merge_traces(*streams)
+    workload = TraceWorkload(records, key_scheme=scheme)
+    driver = YCSBDriver(
+        rig.adapter,
+        YCSBSpec(
+            workload="E",
+            n_ops=n_ops,
+            population=population,
+            key_scheme=scheme,
+            value_bytes=value_bytes,
+            scan_length=scan_length,
+            seed=seed,
+        ),
+    )
+    run = execute_workload(
+        rig.env,
+        driver,
+        workload.operations(),
+        queue_depth=queue_depth,
+        name=f"replay.mix.{variant}",
+    )
+    _drain(rig)
+    summary = run.latency.summary()
+    read_summary = run.latency.summary("read")
+    buckets = rig.device.iterators
+    return {
+        "mean": summary.mean,
+        "p99": summary.p99,
+        "p999": summary.p999,
+        "read_p99": read_summary.p99,
+        "read_p999": read_summary.p999,
+        "completed": run.completed_ops,
+        "failed": run.failed_ops,
+        "deletes": run.latency.count("delete"),
+        "scans": driver.scans_run,
+        "bucket_keys": buckets.total_keys,
+        "bucket_count": len(buckets.buckets()),
+        "bucket_page_writes": buckets.bucket_page_writes,
+        "stats": device_stats_summary(run.device_stats),
+    }
+
+
+@dataclass
+class ReplayMixResult:
+    """Tail latency across TTL/expiry and scan-heavy mix variants."""
+
+    n_ops: int
+    population: int
+    variants: List[str]
+    #: latency_us[variant] -> {mean, p99, p999, read_p99, read_p999}.
+    latency_us: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: ops[variant] -> {completed, failed, deletes, scans}.
+    ops: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: buckets[variant] -> {keys, count, page_writes}.
+    buckets: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    stats_summary: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def tail_inflation(self, variant: str, quantile: str = "read_p99") -> float:
+        """Variant read tail over the plain point-op baseline."""
+        base = self.latency_us.get("plain", {}).get(quantile, 0.0)
+        if base <= 0:
+            return 0.0
+        return self.latency_us[variant][quantile] / base
+
+
+def replay_ttl_scan_mix(
+    variants: Sequence[str] = ("plain", "ttl", "ttl+scan"),
+    n_ops: int = 1500,
+    population: int = 2048,
+    ttl_ops: int = 600,
+    ttl_us: float = 8000.0,
+    scan_fraction: float = 0.25,
+    scan_length: int = 16,
+    value_bytes: int = 4 * KIB,
+    queue_depth: int = 8,
+    blocks_per_plane: int = 16,
+    seed: int = 19,
+    runner: Optional[SweepRunner] = None,
+) -> ReplayMixResult:
+    """Replay figure 2: read-tail cost of TTL churn and prefix scans.
+
+    Same prefilled KV device, three trace variants: point ops only
+    (``plain``), point ops merged with a TTL insert/expire/delete stream
+    (``ttl``), and that plus prefix scans (``ttl+scan``).  The read tail
+    across variants prices what the paper's stationary workloads never
+    bill: expiry-driven delete traffic and bucket-walking scans sharing
+    the device with point reads.
+    """
+    points = tuple(
+        SweepPoint(
+            label=f"mix/{variant}",
+            fn=_replay_mix_cell,
+            kwargs=dict(
+                variant=variant,
+                n_ops=n_ops,
+                population=population,
+                ttl_ops=ttl_ops,
+                ttl_us=ttl_us,
+                scan_fraction=scan_fraction,
+                scan_length=scan_length,
+                value_bytes=value_bytes,
+                queue_depth=queue_depth,
+                blocks_per_plane=blocks_per_plane,
+                seed=seed,
+            ),
+        )
+        for variant in variants
+    )
+    cells = execute_spec(SweepSpec("replay_mix", points), runner)
+    result = ReplayMixResult(n_ops, population, list(variants))
+    for variant, cell in zip(variants, cells):
+        result.latency_us[variant] = {
+            "mean": cell["mean"],
+            "p99": cell["p99"],
+            "p999": cell["p999"],
+            "read_p99": cell["read_p99"],
+            "read_p999": cell["read_p999"],
+        }
+        result.ops[variant] = {
+            "completed": cell["completed"],
+            "failed": cell["failed"],
+            "deletes": cell["deletes"],
+            "scans": cell["scans"],
+        }
+        result.buckets[variant] = {
+            "keys": cell["bucket_keys"],
+            "count": cell["bucket_count"],
+            "page_writes": cell["bucket_page_writes"],
+        }
+        result.stats_summary[variant] = cell["stats"]
     return result

@@ -26,12 +26,13 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
-#: Recognized arrival-process kinds.
-PROCESSES = ("poisson", "mmpp", "diurnal")
+#: Recognized arrival-process kinds.  ``trace`` replays recorded
+#: timestamps verbatim (see :meth:`ArrivalSpec.from_trace`).
+PROCESSES = ("poisson", "mmpp", "diurnal", "trace")
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,8 @@ class ArrivalSpec:
     diurnal_period_us: float = 1_000_000.0
     #: diurnal: peak-to-mean modulation depth in [0, 1).
     diurnal_depth: float = 0.8
+    #: trace: recorded arrival timestamps (us), replayed verbatim.
+    trace_times: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.rate_ops_s <= 0.0:
@@ -92,6 +95,50 @@ class ArrivalSpec:
             raise ConfigurationError(
                 f"diurnal_depth must be in [0, 1), got {self.diurnal_depth}"
             )
+        if self.process == "trace":
+            if len(self.trace_times) != self.n_requests:
+                raise ConfigurationError(
+                    f"trace arrivals carry {len(self.trace_times)} "
+                    f"timestamps for n_requests={self.n_requests}"
+                )
+            previous = 0.0
+            for position, stamp in enumerate(self.trace_times):
+                if stamp < previous:
+                    raise ConfigurationError(
+                        f"trace arrival {position} at {stamp} goes "
+                        f"backwards (previous {previous})"
+                    )
+                previous = stamp
+        elif self.trace_times:
+            raise ConfigurationError(
+                f"trace_times only applies to the 'trace' process, "
+                f"not {self.process!r}"
+            )
+
+    @classmethod
+    def from_trace(
+        cls, times: Sequence[float], seed: int = 1
+    ) -> "ArrivalSpec":
+        """An arrival schedule replaying recorded timestamps verbatim.
+
+        ``rate_ops_s`` is derived from the trace span so load sweeps can
+        still report an offered rate; the timestamps themselves are the
+        schedule (open-loop replay of a
+        :meth:`repro.kvbench.traces.TraceWorkload.arrivals` stream).
+        """
+        stamps = tuple(float(stamp) for stamp in times)
+        if not stamps:
+            raise ConfigurationError("a trace arrival schedule needs "
+                                     "at least one timestamp")
+        span = stamps[-1] - stamps[0]
+        rate = (len(stamps) / span) * 1e6 if span > 0.0 else 1e6
+        return cls(
+            rate_ops_s=rate,
+            n_requests=len(stamps),
+            process="trace",
+            seed=seed,
+            trace_times=stamps,
+        )
 
     @property
     def rate_per_us(self) -> float:
@@ -154,14 +201,21 @@ def _diurnal(spec: ArrivalSpec) -> Iterator[float]:
             emitted += 1
 
 
+def _trace(spec: ArrivalSpec) -> Iterator[float]:
+    return iter(spec.trace_times)
+
+
 def generate_arrivals(spec: ArrivalSpec) -> Iterator[float]:
     """Deterministic arrival-time stream for ``spec``.
 
-    Yields exactly ``spec.n_requests`` absolute times (us), strictly
-    increasing.  The same spec always yields the same stream.
+    Yields exactly ``spec.n_requests`` absolute times (us),
+    non-decreasing (strictly increasing for the synthetic processes).
+    The same spec always yields the same stream.
     """
     if spec.process == "poisson":
         return _poisson(spec)
     if spec.process == "mmpp":
         return _mmpp(spec)
+    if spec.process == "trace":
+        return _trace(spec)
     return _diurnal(spec)

@@ -1,0 +1,449 @@
+"""Trace-driven workloads: a versioned, line-oriented op-log format.
+
+Every figure so far drives the devices with static synthetic
+distributions (:class:`~repro.kvbench.workload.WorkloadSpec`).  A
+*trace* decouples the workload from its generator: Twitter/Meta-style
+key-value op logs — one operation per line with an arrival timestamp —
+can be replayed against any store adapter, and any existing spec can be
+*exported* as a trace, so synthetic and recorded workloads flow through
+one replay path.
+
+Format (``KVT`` version 1)::
+
+    #kvtrace v1
+    # free-form comments anywhere after the header
+    <timestamp_us> <op> <key> <size> [<ttl_us>]
+
+* ``timestamp_us`` — arrival time in microseconds, non-decreasing down
+  the file (closed-loop replay ignores it; open-loop replay turns it
+  into frontend arrivals);
+* ``op`` — one of ``insert update read delete scan``;
+* ``key`` — the key bytes, percent-escaped so arbitrary bytes survive a
+  text file (ASCII ``0x21–0x7e`` except ``%`` is literal);
+* ``size`` — value bytes for writes, ``0`` for reads/deletes, and the
+  scan limit for ``scan`` records;
+* ``ttl_us`` — optional time-to-live; ``0``/absent means none.  TTLs are
+  advisory on replay (the expiry generator materializes the deletes).
+
+The parser is strict: a truncated line, an unknown op code, a version
+mismatch, or an out-of-order timestamp raises
+:class:`~repro.errors.WorkloadError` naming the offending line — a trace
+that parses is a trace that replays deterministically.  ``.gz`` paths
+are read and written through :mod:`gzip` transparently.
+"""
+
+from __future__ import annotations
+
+import gzip
+import heapq
+from dataclasses import dataclass
+from typing import (
+    IO,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import WorkloadError
+from repro.kvbench.workload import (
+    Operation,
+    OpType,
+    WorkloadSpec,
+    generate_operations,
+)
+from repro.kvbench.ycsb import YCSBOperation
+from repro.kvftl.population import KeyScheme
+
+#: Header line opening every trace file.
+TRACE_MAGIC = "#kvtrace"
+#: The format version this module reads and writes.
+TRACE_VERSION = 1
+#: Recognized record op codes (superset of OpType: scans have no
+#: first-class OpType; the replay driver expands them).
+OP_CODES = ("insert", "update", "read", "delete", "scan")
+
+#: Default synthetic inter-arrival gap when exporting a spec (10k ops/s).
+DEFAULT_INTERARRIVAL_US = 100.0
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One parsed trace line."""
+
+    timestamp_us: float
+    #: Op code from :data:`OP_CODES` (a plain string, not OpType, so the
+    #: record can express scans).
+    op: str
+    key: bytes
+    #: Value bytes for writes, 0 for reads/deletes, scan limit for scans.
+    size: int
+    #: Time-to-live; 0.0 = none.
+    ttl_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.timestamp_us < 0.0:
+            raise WorkloadError(
+                f"trace timestamp must be >= 0, got {self.timestamp_us}"
+            )
+        if self.op not in OP_CODES:
+            raise WorkloadError(
+                f"unknown trace op {self.op!r}; choose from {OP_CODES}"
+            )
+        if not self.key:
+            raise WorkloadError("trace key must be non-empty")
+        if self.size < 0:
+            raise WorkloadError(f"trace size must be >= 0, got {self.size}")
+        if self.op == "scan" and self.size < 1:
+            raise WorkloadError(
+                f"scan limit must be >= 1, got {self.size}"
+            )
+        if self.ttl_us < 0.0:
+            raise WorkloadError(f"ttl must be >= 0, got {self.ttl_us}")
+
+
+# ---------------------------------------------------------------------------
+# Key escaping: arbitrary bytes <-> one whitespace-free ASCII token
+# ---------------------------------------------------------------------------
+
+
+def escape_key(key: bytes) -> str:
+    """Percent-escape ``key`` into a single whitespace-free token."""
+    out: List[str] = []
+    for byte in key:
+        if 0x21 <= byte <= 0x7E and byte != 0x25:  # printable, not '%'
+            out.append(chr(byte))
+        else:
+            out.append(f"%{byte:02X}")
+    return "".join(out)
+
+
+def unescape_key(token: str) -> bytes:
+    """Inverse of :func:`escape_key`; raises WorkloadError on bad input."""
+    out = bytearray()
+    i = 0
+    while i < len(token):
+        ch = token[i]
+        if ch == "%":
+            hex_part = token[i + 1:i + 3]
+            if len(hex_part) != 2:
+                raise WorkloadError(f"truncated key escape in {token!r}")
+            try:
+                out.append(int(hex_part, 16))
+            except ValueError:
+                raise WorkloadError(f"bad key escape %{hex_part} in {token!r}")
+            i += 3
+        else:
+            code = ord(ch)
+            if not 0x21 <= code <= 0x7E:
+                raise WorkloadError(
+                    f"unescaped byte {code:#04x} in key token {token!r}"
+                )
+            out.append(code)
+            i += 1
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def _open_write(path: str) -> IO[str]:
+    if str(path).endswith(".gz"):
+        return gzip.open(path, "wt", encoding="ascii")
+    return open(path, "w", encoding="ascii")
+
+
+def _open_read(path: str) -> IO[str]:
+    if str(path).endswith(".gz"):
+        return gzip.open(path, "rt", encoding="ascii")
+    return open(path, "r", encoding="ascii")
+
+
+def format_record(record: TraceRecord) -> str:
+    """One trace line (no newline).  ``repr`` floats round-trip exactly."""
+    fields = [
+        repr(record.timestamp_us),
+        record.op,
+        escape_key(record.key),
+        str(record.size),
+    ]
+    if record.ttl_us > 0.0:
+        fields.append(repr(record.ttl_us))
+    return " ".join(fields)
+
+
+def write_trace(path: str, records: Iterable[TraceRecord]) -> int:
+    """Write ``records`` to ``path`` (gzip if it ends ``.gz``).
+
+    Returns the record count.  Timestamps must be non-decreasing — the
+    writer enforces the same invariant the parser does, so anything
+    written here is guaranteed to parse back.
+    """
+    count = 0
+    previous = 0.0
+    with _open_write(path) as handle:
+        handle.write(f"{TRACE_MAGIC} v{TRACE_VERSION}\n")
+        for record in records:
+            if record.timestamp_us < previous:
+                raise WorkloadError(
+                    f"record {count + 1}: timestamp {record.timestamp_us} "
+                    f"goes backwards (previous {previous})"
+                )
+            previous = record.timestamp_us
+            handle.write(format_record(record) + "\n")
+            count += 1
+    return count
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def _fail(source: str, lineno: int, message: str) -> WorkloadError:
+    return WorkloadError(f"{source}:{lineno}: {message}")
+
+
+def _parse_header(line: str, source: str) -> None:
+    parts = line.strip().split()
+    if len(parts) != 2 or parts[0] != TRACE_MAGIC:
+        raise _fail(source, 1, f"not a kvtrace file (expected "
+                               f"'{TRACE_MAGIC} v{TRACE_VERSION}' header)")
+    version = parts[1]
+    if not version.startswith("v") or not version[1:].isdigit():
+        raise _fail(source, 1, f"malformed trace version {version!r}")
+    if int(version[1:]) != TRACE_VERSION:
+        raise _fail(
+            source, 1,
+            f"trace version mismatch: file is {version}, "
+            f"this reader supports v{TRACE_VERSION}",
+        )
+
+
+def _parse_float(text: str, what: str, source: str, lineno: int) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise _fail(source, lineno, f"bad {what} {text!r}")
+    if value != value or value in (float("inf"), float("-inf")):
+        raise _fail(source, lineno, f"non-finite {what} {text!r}")
+    return value
+
+
+def parse_trace(
+    lines: Iterable[str], source: str = "<trace>"
+) -> List[TraceRecord]:
+    """Parse trace lines strictly; every error names ``source:lineno``.
+
+    The first line must be the version header.  Later ``#`` lines are
+    comments.  Records must carry 4 or 5 fields with non-decreasing
+    timestamps; anything else raises :class:`WorkloadError` — a corrupt
+    trace is never silently skipped over.
+    """
+    records: List[TraceRecord] = []
+    previous = 0.0
+    saw_header = False
+    lineno = 0
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if lineno == 1:
+            _parse_header(line, source)
+            saw_header = True
+            continue
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) < 4:
+            raise _fail(
+                source, lineno,
+                f"truncated record: {len(fields)} of 4+ fields "
+                f"(timestamp op key size [ttl])",
+            )
+        if len(fields) > 5:
+            raise _fail(
+                source, lineno, f"too many fields ({len(fields)}; max 5)"
+            )
+        timestamp = _parse_float(fields[0], "timestamp", source, lineno)
+        if timestamp < previous:
+            raise _fail(
+                source, lineno,
+                f"out-of-order timestamp {timestamp} "
+                f"(previous record at {previous})",
+            )
+        op = fields[1]
+        if op not in OP_CODES:
+            raise _fail(
+                source, lineno,
+                f"unknown op code {op!r}; choose from {OP_CODES}",
+            )
+        try:
+            key = unescape_key(fields[2])
+        except WorkloadError as exc:
+            raise _fail(source, lineno, str(exc))
+        if not fields[3].lstrip("-").isdigit():
+            raise _fail(source, lineno, f"bad size {fields[3]!r}")
+        size = int(fields[3])
+        ttl = 0.0
+        if len(fields) == 5:
+            ttl = _parse_float(fields[4], "ttl", source, lineno)
+        try:
+            record = TraceRecord(timestamp, op, key, size, ttl)
+        except WorkloadError as exc:
+            raise _fail(source, lineno, str(exc))
+        records.append(record)
+        previous = timestamp
+    if not saw_header:
+        raise _fail(source, max(lineno, 1), "empty trace (missing header)")
+    return records
+
+
+def read_trace(path: str) -> List[TraceRecord]:
+    """Parse the trace file at ``path`` (gzip-aware)."""
+    with _open_read(path) as handle:
+        return parse_trace(handle, source=str(path))
+
+
+# ---------------------------------------------------------------------------
+# Exporting specs as traces
+# ---------------------------------------------------------------------------
+
+
+def spec_to_records(
+    spec: WorkloadSpec,
+    interarrival_us: float = DEFAULT_INTERARRIVAL_US,
+    start_us: float = 0.0,
+) -> Iterator[TraceRecord]:
+    """The spec's exact operation stream as trace records.
+
+    Timestamps are a synthetic constant-rate clock (specs carry no
+    arrival process); the *operations* are byte-identical to
+    :func:`generate_operations`, so replaying the export reproduces the
+    spec's run result exactly.
+    """
+    if interarrival_us < 0.0:
+        raise WorkloadError(
+            f"interarrival_us must be >= 0, got {interarrival_us}"
+        )
+    for position, op in enumerate(generate_operations(spec)):
+        yield TraceRecord(
+            timestamp_us=start_us + position * interarrival_us,
+            op=op.op.value,
+            key=op.key,
+            size=op.value_bytes,
+        )
+
+
+def export_spec(
+    spec: WorkloadSpec,
+    path: str,
+    interarrival_us: float = DEFAULT_INTERARRIVAL_US,
+) -> int:
+    """Write ``spec``'s operation stream to ``path``; returns the count."""
+    return write_trace(path, spec_to_records(spec, interarrival_us))
+
+
+def merge_traces(*streams: Iterable[TraceRecord]) -> List[TraceRecord]:
+    """Merge record streams into one timestamp-ordered trace.
+
+    Each input stream must already be timestamp-ordered (every generator
+    in this package is).  Ties break by stream position, then by arrival
+    order within a stream — never by hash or id order, so merges are
+    deterministic across interpreters.
+    """
+    def _keyed(
+        index: int, stream: Iterable[TraceRecord]
+    ) -> Iterator[Tuple[Tuple[float, int, int], TraceRecord]]:
+        for seq, record in enumerate(stream):
+            yield (record.timestamp_us, index, seq), record
+
+    iterators = [_keyed(index, stream) for index, stream in enumerate(streams)]
+    return [record for _key, record in heapq.merge(*iterators)]
+
+
+# ---------------------------------------------------------------------------
+# Replay adapter
+# ---------------------------------------------------------------------------
+
+ReplayOp = Union[Operation, YCSBOperation]
+
+
+class TraceWorkload:
+    """Adapter from parsed records to runner-compatible operation streams.
+
+    * :meth:`operations` (and plain iteration) yields
+      :class:`~repro.kvbench.workload.Operation` items —
+      ``generate_operations``-compatible, so the closed-loop runner, the
+      sweep cells, and the cluster router consume traces unchanged.
+      ``scan`` records come out as
+      :class:`~repro.kvbench.ycsb.YCSBOperation` with a positive
+      ``scan_length``; drive those through
+      :class:`~repro.kvbench.ycsb.YCSBDriver`.
+    * :meth:`arrivals` exposes the trace's timestamps for the open-loop
+      frontend path (:meth:`repro.frontend.arrivals.ArrivalSpec.from_trace`).
+
+    ``key_scheme`` recovers each key's index when the trace was produced
+    by a scheme (exported specs round-trip exactly); foreign keys get
+    deterministic first-seen indices, which keeps block-device offsets
+    and replays stable.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[TraceRecord],
+        key_scheme: Optional[KeyScheme] = None,
+    ) -> None:
+        if not records:
+            raise WorkloadError("a trace workload needs at least one record")
+        self.records: Tuple[TraceRecord, ...] = tuple(records)
+        self.key_scheme = key_scheme
+        self._interned: Dict[bytes, int] = {}
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.records)
+
+    @property
+    def duration_us(self) -> float:
+        """Span from the first arrival to the last."""
+        return self.records[-1].timestamp_us - self.records[0].timestamp_us
+
+    def _index_for(self, key: bytes) -> int:
+        if self.key_scheme is not None:
+            index = self.key_scheme.index_of(key)
+            if index is not None:
+                return index
+        interned = self._interned.get(key)
+        if interned is None:
+            interned = len(self._interned)
+            self._interned[key] = interned
+        return interned
+
+    def _operation(self, record: TraceRecord) -> ReplayOp:
+        index = self._index_for(record.key)
+        if record.op == "scan":
+            return YCSBOperation(
+                Operation(OpType.READ, record.key, index, 0),
+                scan_length=record.size,
+            )
+        return Operation(OpType(record.op), record.key, index, record.size)
+
+    def operations(self) -> Iterator[ReplayOp]:
+        """The trace's operation stream, in arrival order."""
+        for record in self.records:
+            yield self._operation(record)
+
+    def __iter__(self) -> Iterator[ReplayOp]:
+        return self.operations()
+
+    def arrivals(self) -> Tuple[float, ...]:
+        """Arrival timestamps (us), non-decreasing — open-loop input."""
+        return tuple(record.timestamp_us for record in self.records)
+
+    def has_scans(self) -> bool:
+        return any(record.op == "scan" for record in self.records)

@@ -197,15 +197,21 @@ class YCSBDriver:
     def __init__(self, adapter, spec: YCSBSpec) -> None:
         self.adapter = adapter
         self.spec = spec
+        # Surface the wrapped adapter's device so the runner's DeviceStats
+        # capture works through the YCSB layer too.
+        self.device = getattr(adapter, "device", None)
         self.scans_run = 0
         self.rmws_run = 0
 
-    def execute(self, op: YCSBOperation):
-        if op.scan_length > 0:
+    def execute(self, op):
+        # Trace replay feeds mixed streams: plain Operations for point
+        # ops, YCSBOperations only where scan metadata is needed.
+        scan_length = getattr(op, "scan_length", 0)
+        if scan_length > 0:
             return self._scan(op)
-        if op.scan_length == -1:
+        if scan_length == -1:
             return self._read_modify_write(op)
-        return self.adapter.execute(op.base)
+        return self.adapter.execute(getattr(op, "base", op))
 
     def _scan(self, op: YCSBOperation):
         self.scans_run += 1

@@ -25,6 +25,8 @@ from repro.core.figures import (
     fig6_foreground_gc,
     fig7_space_amplification,
     fig8_key_size_bandwidth,
+    replay_rotation,
+    replay_ttl_scan_mix,
 )
 from repro.frontend.run import frontend_load_sweep
 from repro.units import KIB
@@ -296,4 +298,72 @@ register_figure(
         blocks_per_plane=8,
     ),
     _fig_frontend_metrics,
+)
+
+
+#: Mini replay cases mirror the ``repro replay --smoke`` parameters, so
+#: the goldens pin exactly what CI's smoke job executes.
+REPLAY_MINI_ROTATES = (0, 64)
+REPLAY_MINI_VARIANTS = ("plain", "ttl+scan")
+
+
+def _fig_replay_rotation_metrics(result: Any) -> Dict[str, Metric]:
+    metrics: Dict[str, Metric] = {}
+    for device in ("kv", "block"):
+        for rotate in REPLAY_MINI_ROTATES:
+            tag = f"{device}.rot{rotate}"
+            latency = result.latency_us[device][rotate]
+            metrics[f"{tag}.mean_us"] = latency["mean"]
+            metrics[f"{tag}.p99_us"] = latency["p99"]
+            metrics[f"{tag}.p999_us"] = latency["p999"]
+            metrics[f"{tag}.waf"] = result.stats_summary[device][rotate]["waf"]
+            metrics[f"{tag}.completed"] = result.completed_ops[device][rotate]
+        metrics[f"{device}.rotation_penalty"] = result.rotation_penalty(device)
+    return metrics
+
+
+register_figure(
+    "fig_replay_rotation",
+    lambda: replay_rotation(
+        rotate_every=REPLAY_MINI_ROTATES,
+        n_ops=200,
+        population=512,
+        working_set=64,
+        blocks_per_plane=8,
+    ),
+    _fig_replay_rotation_metrics,
+)
+
+
+def _fig_replay_mix_metrics(result: Any) -> Dict[str, Metric]:
+    metrics: Dict[str, Metric] = {}
+    for variant in REPLAY_MINI_VARIANTS:
+        latency = result.latency_us[variant]
+        ops = result.ops[variant]
+        buckets = result.buckets[variant]
+        metrics[f"{variant}.p99_us"] = latency["p99"]
+        metrics[f"{variant}.read_p99_us"] = latency["read_p99"]
+        metrics[f"{variant}.read_p999_us"] = latency["read_p999"]
+        metrics[f"{variant}.completed"] = ops["completed"]
+        metrics[f"{variant}.failed"] = ops["failed"]
+        metrics[f"{variant}.deletes"] = ops["deletes"]
+        metrics[f"{variant}.scans"] = ops["scans"]
+        metrics[f"{variant}.bucket_keys"] = buckets["keys"]
+        metrics[f"{variant}.bucket_count"] = buckets["count"]
+        metrics[f"{variant}.bucket_page_writes"] = buckets["page_writes"]
+        metrics[f"{variant}.waf"] = result.stats_summary[variant]["waf"]
+    metrics["tail_inflation.ttl+scan"] = result.tail_inflation("ttl+scan")
+    return metrics
+
+
+register_figure(
+    "fig_replay_mix",
+    lambda: replay_ttl_scan_mix(
+        variants=REPLAY_MINI_VARIANTS,
+        n_ops=200,
+        population=400,
+        ttl_ops=120,
+        blocks_per_plane=8,
+    ),
+    _fig_replay_mix_metrics,
 )

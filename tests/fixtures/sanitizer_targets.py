@@ -56,3 +56,31 @@ def buggy_model() -> List[Tuple[float, str]]:
 def clean_model() -> List[Tuple[float, str]]:
     """The fix: sorted() pins the order regardless of hash seed."""
     return _run(sorted(set(NAMES)))
+
+
+def replay_churn() -> List[Tuple[float, str, bytes, int, float]]:
+    """Churn trace stream as plain tuples: must be hash-seed independent.
+
+    The replay property suite compares this fingerprint across child
+    interpreters with different ``PYTHONHASHSEED`` values — any dict/set
+    iteration leaking into the generator shows up as a divergence.
+    """
+    from repro.kvbench.generators import ChurnSpec, generate_churn
+
+    spec = ChurnSpec(n_ops=80, population=256, working_set=32,
+                     rotate_every_ops=24, seed=11)
+    return [(r.timestamp_us, r.op, r.key, r.size, r.ttl_us)
+            for r in generate_churn(spec)]
+
+
+def replay_expiry() -> List[Tuple[float, str, bytes, int, float]]:
+    """Expiry trace stream (TTL deletes materialized), same contract.
+
+    Exercises the generator's heap/dict bookkeeping — the most
+    order-sensitive code in the replay subsystem.
+    """
+    from repro.kvbench.generators import ExpirySpec, generate_expiry
+
+    spec = ExpirySpec(n_ops=80, population=48, ttl_us=1500.0, seed=13)
+    return [(r.timestamp_us, r.op, r.key, r.size, r.ttl_us)
+            for r in generate_expiry(spec)]

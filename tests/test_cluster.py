@@ -301,6 +301,43 @@ def test_spec_validation_rejects_bad_shapes():
                    quota_pairs=5)
 
 
+def test_churn_tenant_runs_clean_and_deterministic():
+    """A churn-workload tenant (trace-generator stream, ISSUE 10)
+    routes through the cluster like any YCSB tenant: zero failures,
+    zero missing keys, byte-identical fingerprints across runs."""
+    spec = ClusterSpec(
+        shards=2,
+        replication=1,
+        partitions=8,
+        tenants=(
+            TenantSpec(name="tc", workload="churn", n_ops=120,
+                       population=240, churn_working_set=48,
+                       churn_rotate_every_ops=40, seed=13),
+        ),
+        blocks_per_plane=8,
+        seed=5,
+    )
+    result = run_cluster(spec)
+    assert result.completed_ops == 120
+    assert result.failed_ops == 0
+    assert result.verify_missing == 0
+    assert run_cluster(spec).fingerprint() == result.fingerprint()
+
+
+def test_churn_knob_validation():
+    with pytest.raises(ConfigurationError, match="churn knobs only apply"):
+        TenantSpec(name="ta", workload="A", n_ops=10, population=10,
+                   churn_rotate_every_ops=5)
+    with pytest.raises(ConfigurationError, match="exceeds the population"):
+        TenantSpec(name="ta", workload="churn", n_ops=10, population=10,
+                   churn_working_set=11)
+    # The default hot window is population // 8, floored at one key.
+    assert TenantSpec(name="ta", workload="churn", n_ops=10,
+                      population=80).churn_window == 10
+    assert TenantSpec(name="ta", workload="churn", n_ops=10,
+                      population=4).churn_window == 1
+
+
 def test_tenant_tags_are_four_byte_prefixes():
     assert TenantSpec(name="a", workload="A", n_ops=1,
                       population=1).tag == b"a___"

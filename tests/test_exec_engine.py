@@ -394,6 +394,37 @@ class TestEquivalence:
         report = warm_runner.last_report
         assert report.hits == 2 and report.computed == 0
 
+    def test_replay_sweeps_serial_parallel_cached_identical(self, tmp_path):
+        """Both replay figures run through the engine, so they inherit
+        the guarantee: serial, process-pool parallel, and cache-served
+        runs of the same spec are value-identical."""
+        from repro.core.figures import replay_rotation, replay_ttl_scan_mix
+
+        rotation_kwargs = dict(rotate_every=(0, 64), n_ops=120,
+                               population=256, working_set=32,
+                               blocks_per_plane=8)
+        mix_kwargs = dict(variants=("plain", "ttl+scan"), n_ops=120,
+                          population=240, ttl_ops=80, blocks_per_plane=8)
+        serial_rot = replay_rotation(**rotation_kwargs)
+        serial_mix = replay_ttl_scan_mix(**mix_kwargs)
+        parallel_rot = replay_rotation(
+            **rotation_kwargs, runner=SweepRunner(workers=2, cache=False)
+        )
+        parallel_mix = replay_ttl_scan_mix(
+            **mix_kwargs, runner=SweepRunner(workers=2, cache=False)
+        )
+        assert parallel_rot == serial_rot
+        assert parallel_mix == serial_mix
+        cache_dir = tmp_path / "cache"
+        cold = replay_ttl_scan_mix(
+            **mix_kwargs, runner=SweepRunner(workers=1, cache_dir=cache_dir)
+        )
+        warm_runner = SweepRunner(workers=1, cache_dir=cache_dir)
+        warm = replay_ttl_scan_mix(**mix_kwargs, runner=warm_runner)
+        assert cold == serial_mix and warm == serial_mix
+        report = warm_runner.last_report
+        assert report.hits == 2 and report.computed == 0
+
     def test_cache_hit_equals_cold_compute(self, tmp_path):
         cache_dir = tmp_path / "cache"
         cold = run_fault_sweep(

@@ -75,6 +75,31 @@ def test_fig8_cliff_minimal():
     assert result.mib_s["async"][24] < result.mib_s["async"][16]
 
 
+def test_fig_replay_rotation_shape():
+    """Both devices replay the identical churn trace to completion, and
+    the rotating working set never costs less than the static control
+    (the whole hot set is cold right after every rotation)."""
+    result = figure_result("fig_replay_rotation")
+    for device in ("kv", "block"):
+        for rotate, cell in result.latency_us[device].items():
+            assert result.completed_ops[device][rotate] == 200
+            assert cell["mean"] > 0
+        assert result.rotation_penalty(device) >= 1.0
+
+
+def test_fig_replay_mix_shape():
+    """The TTL+scan variant must actually exercise the new machinery:
+    expiry deletes land, prefix scans run through the iterator buckets,
+    and the read tail inflates over the plain point-op baseline."""
+    result = figure_result("fig_replay_mix")
+    plain, mixed = result.ops["plain"], result.ops["ttl+scan"]
+    assert plain["deletes"] == plain["scans"] == 0
+    assert mixed["deletes"] > 0 and mixed["scans"] > 0
+    assert mixed["failed"] == 0
+    assert result.tail_inflation("ttl+scan") > 1.0
+    assert result.buckets["ttl+scan"]["keys"] > 0
+
+
 def test_fig_frontend_knee_shape():
     """The serving-frontend mini sweep must show the open-loop story:
     a saturation knee between the plateau load and the overload point,

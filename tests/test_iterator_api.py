@@ -4,6 +4,17 @@ import pytest
 
 from repro.core.experiment import build_kv_rig, lab_geometry
 from repro.errors import ConfigurationError
+from repro.kvbench.generators import (
+    ExpirySpec,
+    ScanMixSpec,
+    generate_expiry,
+    generate_scan_mix,
+)
+from repro.kvbench.runner import execute_workload
+from repro.kvbench.traces import TraceWorkload, merge_traces
+from repro.kvbench.ycsb import YCSBDriver, YCSBSpec
+from repro.kvftl.iterator import IteratorBuckets
+from repro.kvftl.keyhash import iterator_bucket
 from repro.kvftl.population import KeyScheme
 
 
@@ -91,3 +102,102 @@ def test_iterate_cost_scales_with_bucket_size():
     small = run(rig, timed(rig.env, b"tiny"))
     large = run(rig, timed(rig.env, b"bigb"))
     assert large > small  # more bucket pages to walk
+
+
+# ---------------------------------------------------------------------------
+# Iterator buckets under trace-generated churn (ISSUE 10)
+# ---------------------------------------------------------------------------
+
+
+def test_bucket_accounting_matches_model_dict_under_expiry_churn():
+    """Drive the bucket accountant with a multi-prefix insert/delete
+    stream and cross-check every count against a plain model dict."""
+    buckets = IteratorBuckets(flush_keys=16)
+    model = {}
+    flushes = 0
+    streams = [
+        generate_expiry(ExpirySpec(
+            n_ops=120, population=40, ttl_us=900.0,
+            key_scheme=KeyScheme(prefix=b"exp%d" % i, digits=12),
+            seed=9 + i,
+        ))
+        for i in range(3)
+    ]
+    for record in merge_traces(*streams):
+        bucket = iterator_bucket(record.key)
+        if record.op == "insert":
+            pages = buckets.note_store(record.key)
+            assert pages in (0, 1)
+            flushes += pages
+            model[bucket] = model.get(bucket, 0) + 1
+        elif record.op == "delete":
+            buckets.note_delete(record.key)
+            model[bucket] -= 1
+            if model[bucket] == 0:
+                del model[bucket]
+        # reads/updates never change bucket membership
+        assert buckets.total_keys == sum(model.values())
+    assert buckets.buckets() == sorted(model)
+    for bucket, count in model.items():
+        assert buckets.bucket_count(bucket) == count
+    assert buckets.bucket_page_writes == flushes > 0
+
+
+def test_bucket_delete_from_empty_bucket_is_an_error():
+    buckets = IteratorBuckets(flush_keys=8)
+    with pytest.raises(ConfigurationError, match="empty iterator bucket"):
+        buckets.note_delete(b"ghst-key")
+    buckets.note_store(b"once-key")
+    buckets.note_delete(b"once-key")
+    with pytest.raises(ConfigurationError, match="empty iterator bucket"):
+        buckets.note_delete(b"once-key")
+
+
+def test_bucket_bulk_registration_settles_flush_debt():
+    buckets = IteratorBuckets(flush_keys=10)
+    buckets.note_bulk(b"blk-key-0000", 25)
+    assert buckets.bucket_count(iterator_bucket(b"blk-key-0000")) == 25
+    assert buckets.bucket_page_writes == 2  # 25 // 10
+    with pytest.raises(ConfigurationError, match="bulk count"):
+        buckets.note_bulk(b"blk-key-0000", 0)
+
+
+def test_scan_heavy_replay_drives_buckets_and_iterator_correctness():
+    """The scan-mix generator through the YCSB driver: every scan walks
+    the device's iterator buckets, the bucket census still matches the
+    prefilled population, and iteration agrees with a model dict."""
+    rig = build_kv_rig(lab_geometry(8))
+    scheme = KeyScheme(prefix=b"scn-", digits=12)
+    population = 300
+    rig.device.fast_fill(population, 256, scheme)
+    spec = ScanMixSpec(
+        n_ops=250, population=population, scan_fraction=0.3, scan_length=8,
+        value_bytes=256, key_scheme=scheme, seed=21,
+    )
+    records = list(generate_scan_mix(spec))
+    workload = TraceWorkload(records, key_scheme=scheme)
+    assert workload.has_scans()
+    driver = YCSBDriver(
+        rig.adapter,
+        YCSBSpec(workload="E", n_ops=250, population=population,
+                 key_scheme=scheme, value_bytes=256, scan_length=8, seed=21),
+    )
+    result = execute_workload(rig.env, driver, workload.operations(),
+                              queue_depth=4, name="scanmix")
+    assert result.failed_ops == 0
+    assert result.completed_ops == 250
+    assert driver.scans_run == sum(1 for r in records if r.op == "scan") > 0
+    # Reads/updates/scans never change bucket membership: the census
+    # still shows exactly the prefilled population in one bucket.
+    buckets = rig.device.iterators
+    assert buckets.total_keys == population
+    assert buckets.bucket_count(iterator_bucket(scheme.key_for(0))) == \
+        population
+    # Iterator correctness against the model: the device enumerates
+    # exactly the prefilled keys, sorted.
+    def session(env):
+        keys = yield env.process(rig.api.iterate(b"scn-", limit=1000))
+        return keys
+
+    keys = run(rig, session(rig.env))
+    assert keys == sorted(scheme.key_for(i) for i in range(population))

@@ -1,0 +1,609 @@
+"""Trace format, generators, and replay determinism (ISSUE 10).
+
+Three layers of pinning:
+
+* properties — write→parse round-trip is identity for arbitrary
+  records, key escaping is lossless, merges stay ordered;
+* replay identity — an exported spec replays to a byte-identical
+  ``RunResult`` fingerprint, the contract that makes traces and specs
+  interchangeable everywhere downstream;
+* error paths — every malformed-trace shape raises ``WorkloadError``
+  naming ``source:lineno``, so a corrupt trace can never be silently
+  replayed as a different workload.
+
+Hash-seed independence of the generators is checked with the
+sanitizer's subprocess collector (same machinery as the planted-bug
+localization tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.experiment import build_kv_rig, lab_geometry
+from repro.errors import ConfigurationError, WorkloadError
+from repro.frontend.arrivals import ArrivalSpec, generate_arrivals
+from repro.kvbench.generators import (
+    ChurnSpec,
+    ExpirySpec,
+    PhaseSpec,
+    ScanMixSpec,
+    generate_churn,
+    generate_expiry,
+    generate_phases,
+    generate_scan_mix,
+)
+from repro.kvbench.runner import execute_workload
+from repro.kvbench.traces import (
+    OP_CODES,
+    TRACE_MAGIC,
+    TRACE_VERSION,
+    TraceRecord,
+    TraceWorkload,
+    escape_key,
+    export_spec,
+    format_record,
+    merge_traces,
+    parse_trace,
+    read_trace,
+    spec_to_records,
+    unescape_key,
+    write_trace,
+)
+from repro.kvbench.workload import (
+    OpType,
+    Pattern,
+    WorkloadSpec,
+    generate_operations,
+)
+from repro.kvbench.ycsb import YCSBOperation
+from repro.kvftl.population import KeyScheme
+from repro.lint.sanitizer import collect_in_subprocess, localize
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures"
+SAMPLE_TRACE = FIXTURES / "sample_trace.kvt"
+
+HEADER = f"{TRACE_MAGIC} v{TRACE_VERSION}"
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+_sizes = st.floats(min_value=0.0, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+_keys = st.binary(min_size=1, max_size=24)
+
+
+@st.composite
+def trace_record_lists(draw, min_size: int = 1, max_size: int = 30):
+    """Valid record lists: arbitrary keys, non-decreasing timestamps."""
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    now = 0.0
+    records = []
+    for _ in range(count):
+        now += draw(_sizes)
+        op = draw(st.sampled_from(OP_CODES))
+        if op == "scan":
+            size = draw(st.integers(min_value=1, max_value=4096))
+        elif op in ("read", "delete"):
+            size = 0
+        else:
+            size = draw(st.integers(min_value=0, max_value=1 << 20))
+        ttl = 0.0
+        if op in ("insert", "update"):
+            ttl = draw(st.floats(min_value=0.0, max_value=1e7,
+                                 allow_nan=False, allow_infinity=False))
+        records.append(TraceRecord(now, op, draw(_keys), size, ttl))
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Round-trip properties
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @given(key=st.binary(min_size=1, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_key_escape_is_lossless_and_token_safe(self, key: bytes):
+        token = escape_key(key)
+        assert token.isascii()
+        assert not any(ch.isspace() for ch in token)
+        assert unescape_key(token) == key
+
+    @given(records=trace_record_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_format_parse_identity(self, records):
+        lines = [HEADER] + [format_record(r) for r in records]
+        assert parse_trace(lines) == records
+
+    def test_file_roundtrip_plain_and_gzip(self, tmp_path):
+        records = [
+            TraceRecord(0.0, "insert", b"\x00binary\xffkey %", 512, 90.5),
+            TraceRecord(0.25, "read", b"plain-key", 0),
+            TraceRecord(0.25, "scan", b"pref-000", 16),
+            TraceRecord(7.5, "delete", b"\x00binary\xffkey %", 0),
+        ]
+        for name in ("trace.kvt", "trace.kvt.gz"):
+            path = str(tmp_path / name)
+            assert write_trace(path, records) == len(records)
+            assert read_trace(path) == records
+
+    def test_gzip_file_is_actually_compressed(self, tmp_path):
+        records = [TraceRecord(float(i), "read", b"key-%d" % (i % 4), 0)
+                   for i in range(400)]
+        plain = tmp_path / "t.kvt"
+        packed = tmp_path / "t.kvt.gz"
+        write_trace(str(plain), records)
+        write_trace(str(packed), records)
+        assert packed.stat().st_size < plain.stat().st_size
+        assert packed.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_comments_and_blank_lines_are_skipped(self):
+        lines = [HEADER, "", "# a comment", "1.0 read abc 0",
+                 "   # indented comment", "2.0 update abc 64"]
+        parsed = parse_trace(lines)
+        assert [r.op for r in parsed] == ["read", "update"]
+
+
+# ---------------------------------------------------------------------------
+# Malformed traces: every error names source:lineno
+# ---------------------------------------------------------------------------
+
+
+class TestMalformed:
+    def _lines(self, *records: str):
+        return [HEADER, *records]
+
+    def test_missing_header(self):
+        with pytest.raises(WorkloadError, match=r"<trace>:1: not a kvtrace"):
+            parse_trace(["1.0 read abc 0"])
+
+    def test_version_mismatch(self):
+        with pytest.raises(WorkloadError,
+                           match=r"<trace>:1: trace version mismatch"):
+            parse_trace([f"{TRACE_MAGIC} v{TRACE_VERSION + 1}"])
+
+    def test_malformed_version_token(self):
+        with pytest.raises(WorkloadError, match=r":1: malformed trace version"):
+            parse_trace([f"{TRACE_MAGIC} vX"])
+
+    def test_empty_input(self):
+        with pytest.raises(WorkloadError, match=r"<trace>:1: empty trace"):
+            parse_trace([])
+
+    def test_truncated_record(self):
+        with pytest.raises(WorkloadError, match=r"<trace>:2: truncated record"):
+            parse_trace(self._lines("1.0 read abc"))
+
+    def test_too_many_fields(self):
+        with pytest.raises(WorkloadError, match=r":3: too many fields"):
+            parse_trace(self._lines("1.0 read abc 0",
+                                    "2.0 read abc 0 5.0 extra"))
+
+    def test_unknown_op_code(self):
+        with pytest.raises(WorkloadError, match=r":2: unknown op code 'frob'"):
+            parse_trace(self._lines("1.0 frob abc 0"))
+
+    def test_out_of_order_timestamp(self):
+        with pytest.raises(WorkloadError,
+                           match=r":3: out-of-order timestamp 1.0"):
+            parse_trace(self._lines("5.0 read abc 0", "1.0 read abc 0"))
+
+    def test_bad_timestamp(self):
+        with pytest.raises(WorkloadError, match=r":2: bad timestamp 'soon'"):
+            parse_trace(self._lines("soon read abc 0"))
+
+    def test_non_finite_timestamp(self):
+        with pytest.raises(WorkloadError, match=r":2: non-finite timestamp"):
+            parse_trace(self._lines("nan read abc 0"))
+
+    def test_bad_size(self):
+        with pytest.raises(WorkloadError, match=r":2: bad size '12q'"):
+            parse_trace(self._lines("1.0 read abc 12q"))
+
+    def test_negative_size(self):
+        with pytest.raises(WorkloadError, match=r":2: .*size must be >= 0"):
+            parse_trace(self._lines("1.0 update abc -4"))
+
+    def test_bad_ttl(self):
+        with pytest.raises(WorkloadError, match=r":2: bad ttl 'later'"):
+            parse_trace(self._lines("1.0 insert abc 64 later"))
+
+    def test_zero_limit_scan(self):
+        with pytest.raises(WorkloadError, match=r":2: scan limit must be >= 1"):
+            parse_trace(self._lines("1.0 scan abcd 0"))
+
+    def test_bad_key_escape(self):
+        with pytest.raises(WorkloadError, match=r":2: bad key escape %G1"):
+            parse_trace(self._lines("1.0 read a%G1b 0"))
+
+    def test_truncated_key_escape(self):
+        with pytest.raises(WorkloadError, match=r":2: truncated key escape"):
+            parse_trace(self._lines("1.0 read abc%2 0"))
+
+    def test_errors_name_the_file(self, tmp_path):
+        path = tmp_path / "broken.kvt"
+        path.write_text(f"{HEADER}\n1.0 read abc 0\n0.5 read abc 0\n")
+        with pytest.raises(WorkloadError, match=r"broken\.kvt:3: out-of-order"):
+            read_trace(str(path))
+
+    def test_writer_rejects_backwards_timestamps(self, tmp_path):
+        records = [TraceRecord(5.0, "read", b"a", 0),
+                   TraceRecord(1.0, "read", b"a", 0)]
+        with pytest.raises(WorkloadError, match="goes backwards"):
+            write_trace(str(tmp_path / "bad.kvt"), records)
+
+    def test_record_validation(self):
+        with pytest.raises(WorkloadError, match="timestamp must be >= 0"):
+            TraceRecord(-1.0, "read", b"a", 0)
+        with pytest.raises(WorkloadError, match="unknown trace op"):
+            TraceRecord(0.0, "append", b"a", 0)
+        with pytest.raises(WorkloadError, match="key must be non-empty"):
+            TraceRecord(0.0, "read", b"", 0)
+        with pytest.raises(WorkloadError, match="ttl must be >= 0"):
+            TraceRecord(0.0, "read", b"a", 0, ttl_us=-2.0)
+
+
+# ---------------------------------------------------------------------------
+# Spec export and replay identity
+# ---------------------------------------------------------------------------
+
+
+def _run_fingerprint(run) -> str:
+    """Serialize everything observable about a run for exact comparison."""
+    return json.dumps({
+        "completed": run.completed_ops,
+        "failed": run.failed_ops,
+        "latency": run.latency.summary().as_dict(),
+        "reads": run.latency.count("read"),
+        "updates": run.latency.count("update"),
+        "stats": dataclasses.asdict(run.device_stats),
+        "elapsed": run.elapsed_us,
+    }, sort_keys=True)
+
+
+class TestSpecExport:
+    def test_exported_operations_match_generate_operations(self, tmp_path):
+        scheme = KeyScheme(prefix=b"expt", digits=12)
+        spec = WorkloadSpec(
+            n_ops=200, op="mixed", pattern=Pattern.ZIPFIAN, population=300,
+            key_scheme=scheme, value_bytes=512, seed=5,
+        )
+        path = str(tmp_path / "spec.kvt")
+        assert export_spec(spec, path) == 200
+        workload = TraceWorkload(read_trace(path), key_scheme=scheme)
+        assert list(workload.operations()) == list(generate_operations(spec))
+
+    def test_export_timestamps_are_a_constant_rate_clock(self):
+        spec = WorkloadSpec(n_ops=5, op="read", population=10)
+        records = list(spec_to_records(spec, interarrival_us=50.0,
+                                       start_us=7.0))
+        assert [r.timestamp_us for r in records] == [7.0, 57.0, 107.0,
+                                                     157.0, 207.0]
+
+    def test_exported_spec_replay_fingerprint_is_byte_identical(
+        self, tmp_path
+    ):
+        """The replay contract: export → parse → replay reproduces the
+        direct run exactly, down to every latency sample and stat."""
+        scheme = KeyScheme(prefix=b"expt", digits=12)
+        spec = WorkloadSpec(
+            n_ops=150, op="mixed", population=256, key_scheme=scheme,
+            value_bytes=1024, seed=9,
+        )
+
+        def _execute(operations):
+            rig = build_kv_rig(lab_geometry(8))
+            rig.device.fast_fill(256, 1024, scheme)
+            return execute_workload(rig.env, rig.adapter, operations,
+                                    queue_depth=4, name="replay")
+
+        direct = _execute(generate_operations(spec))
+        path = str(tmp_path / "spec.kvt.gz")
+        export_spec(spec, path)
+        replayed = _execute(
+            TraceWorkload(read_trace(path), key_scheme=scheme).operations()
+        )
+        assert _run_fingerprint(replayed) == _run_fingerprint(direct)
+        assert direct.completed_ops == 150
+
+
+# ---------------------------------------------------------------------------
+# TraceWorkload adapter
+# ---------------------------------------------------------------------------
+
+
+class TestTraceWorkload:
+    def test_rejects_empty_record_list(self):
+        with pytest.raises(WorkloadError, match="at least one record"):
+            TraceWorkload([])
+
+    def test_scan_records_become_ycsb_operations(self):
+        records = [TraceRecord(0.0, "scan", b"pref-001", 32),
+                   TraceRecord(1.0, "read", b"pref-001", 0)]
+        ops = list(TraceWorkload(records))
+        assert isinstance(ops[0], YCSBOperation)
+        assert ops[0].scan_length == 32
+        assert ops[0].op is OpType.READ
+        assert not isinstance(ops[1], YCSBOperation)
+        assert ops[1].op is OpType.READ
+
+    def test_foreign_keys_get_stable_first_seen_indices(self):
+        records = [
+            TraceRecord(0.0, "insert", b"zebra", 64),
+            TraceRecord(1.0, "insert", b"apple", 64),
+            TraceRecord(2.0, "read", b"zebra", 0),
+        ]
+        workload = TraceWorkload(records)
+        indices = [op.key_index for op in workload.operations()]
+        assert indices == [0, 1, 0]
+        # A second pass over the same workload reuses the same interning.
+        assert [op.key_index for op in workload.operations()] == indices
+
+    def test_scheme_keys_recover_their_exact_indices(self):
+        scheme = KeyScheme(prefix=b"popl", digits=12)
+        records = [TraceRecord(0.0, "read", scheme.key_for(37), 0)]
+        workload = TraceWorkload(records, key_scheme=scheme)
+        assert next(iter(workload)).key_index == 37
+
+    def test_arrivals_duration_and_scan_probe(self):
+        records = [TraceRecord(5.0, "read", b"a", 0),
+                   TraceRecord(9.0, "scan", b"abcd", 4)]
+        workload = TraceWorkload(records)
+        assert workload.arrivals() == (5.0, 9.0)
+        assert workload.duration_us == 4.0
+        assert workload.n_ops == 2
+        assert workload.has_scans()
+        assert not TraceWorkload([records[0]]).has_scans()
+
+
+# ---------------------------------------------------------------------------
+# Generators: determinism, ordering, and stream invariants
+# ---------------------------------------------------------------------------
+
+
+def _assert_time_ordered(records):
+    stamps = [r.timestamp_us for r in records]
+    assert stamps == sorted(stamps)
+
+
+class TestGenerators:
+    def test_churn_is_deterministic_and_seed_sensitive(self):
+        spec = ChurnSpec(n_ops=120, population=256, working_set=32,
+                         rotate_every_ops=40, seed=3)
+        first = list(generate_churn(spec))
+        assert first == list(generate_churn(spec))
+        reseeded = dataclasses.replace(spec, seed=4)
+        assert first != list(generate_churn(reseeded))
+        _assert_time_ordered(first)
+
+    def test_churn_rotation_moves_the_window(self):
+        scheme = KeyScheme(prefix=b"chrn", digits=12)
+        spec = ChurnSpec(n_ops=100, population=400, working_set=50,
+                         rotate_every_ops=50, key_scheme=scheme, seed=3)
+        records = list(generate_churn(spec))
+        first = {scheme.index_of(r.key) for r in records[:50]}
+        second = {scheme.index_of(r.key) for r in records[50:]}
+        assert first <= set(range(0, 50))
+        assert second <= set(range(50, 100))
+        # The static control arm never leaves the initial window.
+        static = dataclasses.replace(spec, rotate_every_ops=0)
+        indices = {scheme.index_of(r.key) for r in generate_churn(static)}
+        assert indices <= set(range(0, 50))
+
+    def test_churn_ops_are_reads_and_updates_only(self):
+        spec = ChurnSpec(n_ops=60, population=64, working_set=64, seed=1)
+        assert {r.op for r in generate_churn(spec)} <= {"read", "update"}
+
+    def test_expiry_stream_is_self_contained(self):
+        """Every read/delete targets a live key; the drain leaves the
+        store empty, the way a TTL cache would end up."""
+        spec = ExpirySpec(n_ops=200, population=64, ttl_us=1200.0, seed=7)
+        records = list(generate_expiry(spec))
+        _assert_time_ordered(records)
+        live = set()
+        deletes = 0
+        for record in records:
+            if record.op == "insert":
+                assert record.key not in live
+                assert record.ttl_us == spec.ttl_us
+                live.add(record.key)
+            elif record.op == "update":
+                assert record.key in live
+                assert record.ttl_us == spec.ttl_us
+            elif record.op == "read":
+                assert record.key in live
+            else:
+                assert record.op == "delete"
+                assert record.key in live
+                live.remove(record.key)
+                deletes += 1
+        assert not live, "final drain must expire every armed key"
+        assert deletes > 0
+        foreground = [r for r in records if r.op != "delete"]
+        assert len(foreground) == spec.n_ops
+
+    def test_expiry_is_deterministic(self):
+        spec = ExpirySpec(n_ops=150, population=40, ttl_us=900.0, seed=5)
+        assert list(generate_expiry(spec)) == list(generate_expiry(spec))
+
+    def test_scan_mix_carries_scan_limits(self):
+        spec = ScanMixSpec(n_ops=300, population=128, scan_fraction=0.3,
+                           scan_length=24, seed=11)
+        records = list(generate_scan_mix(spec))
+        _assert_time_ordered(records)
+        scans = [r for r in records if r.op == "scan"]
+        assert scans and all(r.size == 24 for r in scans)
+        assert {r.op for r in records} <= {"scan", "read", "update"}
+        assert list(generate_scan_mix(spec)) == records
+
+    def test_phases_concatenate_at_each_phases_own_rate(self):
+        scheme = KeyScheme(prefix=b"phse", digits=12)
+        fast = WorkloadSpec(n_ops=10, op="read", population=20,
+                            key_scheme=scheme)
+        slow = WorkloadSpec(n_ops=5, op="update", population=20,
+                            key_scheme=scheme, value_bytes=256)
+        spec = PhaseSpec(phases=((1000.0, fast), (1000.0, slow)))
+        assert spec.total_ops == 15
+        assert spec.total_duration_us == 2000.0
+        records = list(generate_phases(spec))
+        assert len(records) == 15
+        _assert_time_ordered(records)
+        assert [r.op for r in records[:10]] == ["read"] * 10
+        assert [r.timestamp_us for r in records[:3]] == [0.0, 100.0, 200.0]
+        assert records[10].timestamp_us == 1000.0
+        assert records[11].timestamp_us == 1200.0
+
+    def test_phase_spec_validation(self):
+        with pytest.raises(WorkloadError, match="at least one phase"):
+            PhaseSpec(phases=())
+        spec = WorkloadSpec(n_ops=1, op="read", population=1)
+        with pytest.raises(WorkloadError, match="phase 2: duration"):
+            PhaseSpec(phases=((10.0, spec), (0.0, spec)))
+
+    def test_churn_spec_validation(self):
+        with pytest.raises(WorkloadError, match="working_set"):
+            ChurnSpec(n_ops=10, population=8, working_set=9)
+        with pytest.raises(WorkloadError, match="rotate_every_ops"):
+            ChurnSpec(n_ops=10, population=8, working_set=4,
+                      rotate_every_ops=-1)
+
+    def test_expiry_spec_validation(self):
+        with pytest.raises(WorkloadError, match="ttl_us"):
+            ExpirySpec(n_ops=10, population=8, ttl_us=0.0)
+        with pytest.raises(WorkloadError, match="write_fraction"):
+            ExpirySpec(n_ops=10, population=8, ttl_us=1.0,
+                       write_fraction=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Merging
+# ---------------------------------------------------------------------------
+
+
+class TestMerge:
+    def test_merge_orders_by_timestamp_then_stream(self):
+        a = [TraceRecord(0.0, "read", b"a0", 0),
+             TraceRecord(10.0, "read", b"a1", 0)]
+        b = [TraceRecord(0.0, "read", b"b0", 0),
+             TraceRecord(5.0, "read", b"b1", 0)]
+        merged = merge_traces(a, b)
+        assert [r.key for r in merged] == [b"a0", b"b0", b"b1", b"a1"]
+        _assert_time_ordered(merged)
+
+    def test_merge_is_writable_and_parseable(self, tmp_path):
+        churn = generate_churn(
+            ChurnSpec(n_ops=50, population=64, working_set=16, seed=2)
+        )
+        expiry = generate_expiry(
+            ExpirySpec(n_ops=50, population=16, ttl_us=700.0,
+                       key_scheme=KeyScheme(prefix=b"ttl-", digits=12),
+                       seed=3)
+        )
+        merged = merge_traces(churn, expiry)
+        path = str(tmp_path / "merged.kvt")
+        count = write_trace(path, merged)
+        assert read_trace(path) == merged
+        assert count == len(merged) >= 100
+
+    @given(seed_a=st.integers(0, 50), seed_b=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_merge_preserves_every_record(self, seed_a, seed_b):
+        a = list(generate_churn(ChurnSpec(
+            n_ops=20, population=32, working_set=8, seed=seed_a)))
+        b = list(generate_churn(ChurnSpec(
+            n_ops=20, population=32, working_set=8, seed=seed_b)))
+        merged = merge_traces(a, b)
+        assert len(merged) == 40
+        assert sorted(r.key for r in merged) == sorted(
+            r.key for r in a + b
+        )
+        _assert_time_ordered(merged)
+
+
+# ---------------------------------------------------------------------------
+# Open-loop arrivals from traces
+# ---------------------------------------------------------------------------
+
+
+class TestTraceArrivals:
+    def test_from_trace_replays_timestamps_verbatim(self):
+        records = [TraceRecord(float(i) * 3.0, "read", b"k", 0)
+                   for i in range(10)]
+        workload = TraceWorkload(records)
+        spec = ArrivalSpec.from_trace(workload.arrivals())
+        assert tuple(generate_arrivals(spec)) == workload.arrivals()
+        assert spec.process == "trace"
+        assert spec.n_requests == 10
+
+    def test_from_trace_derives_the_offered_rate(self):
+        # 10 arrivals over 27 us -> 10/27 per us.
+        spec = ArrivalSpec.from_trace(tuple(float(i) * 3.0
+                                            for i in range(10)))
+        assert spec.rate_ops_s == pytest.approx(10 / 27e-6)
+        # Zero-span traces fall back to a sane positive rate.
+        burst = ArrivalSpec.from_trace((5.0, 5.0, 5.0))
+        assert burst.rate_ops_s > 0
+        assert tuple(generate_arrivals(burst)) == (5.0, 5.0, 5.0)
+
+    def test_from_trace_validation(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            ArrivalSpec.from_trace(())
+        with pytest.raises(ConfigurationError, match="goes backwards"):
+            ArrivalSpec.from_trace((3.0, 1.0))
+        with pytest.raises(ConfigurationError, match="carry 2 timestamps"):
+            ArrivalSpec(rate_ops_s=1e4, n_requests=3, process="trace",
+                        trace_times=(0.0, 1.0))
+        with pytest.raises(ConfigurationError, match="only applies"):
+            ArrivalSpec(rate_ops_s=1e4, n_requests=2, process="poisson",
+                        trace_times=(0.0, 1.0))
+
+
+# ---------------------------------------------------------------------------
+# Hash-seed independence (sanitizer collect machinery)
+# ---------------------------------------------------------------------------
+
+CHURN_TARGET = f"{FIXTURES / 'sanitizer_targets.py'}:replay_churn"
+EXPIRY_TARGET = f"{FIXTURES / 'sanitizer_targets.py'}:replay_expiry"
+
+
+class TestHashSeedIndependence:
+    @pytest.mark.parametrize("target", [CHURN_TARGET, EXPIRY_TARGET],
+                             ids=["churn", "expiry"])
+    def test_generator_fingerprint_survives_hash_seed_variation(
+        self, target
+    ):
+        left = collect_in_subprocess(target, 0, "0")
+        right = collect_in_subprocess(target, 0, "1")
+        assert left.hash_seed == "0" and right.hash_seed == "1"
+        assert localize(left, right) is None
+        assert left.fingerprint == right.fingerprint
+
+
+# ---------------------------------------------------------------------------
+# The committed sample trace
+# ---------------------------------------------------------------------------
+
+
+class TestSampleTrace:
+    def test_sample_trace_parses_and_replays(self):
+        records = read_trace(str(SAMPLE_TRACE))
+        assert len(records) >= 1000
+        _assert_time_ordered(records)
+        workload = TraceWorkload(records)
+        assert workload.has_scans()
+        ops = {r.op for r in records}
+        assert {"insert", "update", "read", "delete", "scan"} <= ops
+        operations = list(workload.operations())
+        assert len(operations) == len(records)
+        arrivals = workload.arrivals()
+        assert ArrivalSpec.from_trace(arrivals).n_requests == len(records)
